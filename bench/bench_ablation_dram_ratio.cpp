@@ -1,0 +1,38 @@
+// Ablation A2: DRAM share of the hybrid memory (the paper fixes 10%
+// following CLOCK-DWF; this sweep shows what that choice costs/buys).
+// Larger DRAM shares soak up more of the hot set (fewer migrations, lower
+// AMAT) but forfeit the static-power savings that motivate the hybrid.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv, /*default_scale=*/128);
+  bench::print_header("Ablation — DRAM fraction of hybrid memory", ctx);
+
+  for (const char* workload : {"facesim", "ferret", "canneal"}) {
+    std::cout << "--- " << workload << " ---\n";
+    TextTable table({"dram%", "APPR (nJ)", "static (nJ)", "migration (nJ)",
+                     "AMAT (ns)", "vs dram-only power"});
+    const auto& profile = synth::parsec_profile(workload);
+    const double dram_only =
+        bench::run(profile, "dram-only", ctx).appr().total();
+    for (const double fraction : {0.05, 0.10, 0.20, 0.30, 0.50}) {
+      sim::ExperimentConfig config;
+      config.dram_fraction = fraction;
+      const auto result = bench::run(profile, "two-lru", ctx, config);
+      const auto power = result.appr();
+      table.add_row({TextTable::fmt(100 * fraction, 0),
+                     TextTable::fmt(power.total(), 2),
+                     TextTable::fmt(power.static_nj, 2),
+                     TextTable::fmt(power.migration_nj, 2),
+                     TextTable::fmt(result.amat().total(), 1),
+                     TextTable::fmt(power.total() / dram_only, 3)});
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation A3: migration granularity (the paper's motivation item (c)).
+//
+// PageFactor = page_size / access_granularity converts one page move into
+// device accesses; doubling the page size doubles every migration's cost.
+// This sweep quantifies how granularity shifts the migrate-vs-stay
+// trade-off the thresholds must navigate.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv, /*default_scale=*/128);
+  bench::print_header("Ablation — page size / migration granularity", ctx);
+
+  for (const char* policy : {"two-lru", "clock-dwf"}) {
+    std::cout << "--- " << policy << " on facesim ---\n";
+    TextTable table({"page size", "PageFactor", "APPR (nJ)",
+                     "migration (nJ)", "AMAT (ns)", "migrations/kacc"});
+    const auto& profile = synth::parsec_profile("facesim");
+    for (const std::uint64_t page_size :
+         {1024ULL, 2048ULL, 4096ULL, 8192ULL, 16384ULL}) {
+      sim::ExperimentConfig config;
+      config.page_size = page_size;
+      const auto result = bench::run(profile, policy, ctx, config);
+      const auto power = result.appr();
+      table.add_row(
+          {std::to_string(page_size / 1024) + "KB",
+           std::to_string(result.counts.page_factor),
+           TextTable::fmt(power.total(), 2),
+           TextTable::fmt(power.migration_nj, 2),
+           TextTable::fmt(result.amat().total(), 1),
+           TextTable::fmt(1000.0 *
+                              static_cast<double>(result.counts.migrations()) /
+                              static_cast<double>(result.accesses),
+                          2)});
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation A11: total memory size. The paper fixes memory = 75% of each
+// workload's footprint (following CLOCK-DWF); this sweep shows how the
+// hybrid advantage moves as memory pressure changes: at 100% the fault/
+// demotion machinery goes quiet and static power decides everything; below
+// ~60% capacity misses (and the demotion each one forces) start to bury the
+// threshold scheme's savings.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv, /*default_scale=*/128);
+  bench::print_header("Ablation — total memory as a fraction of footprint",
+                      ctx);
+
+  for (const char* workload : {"facesim", "canneal"}) {
+    std::cout << "--- " << workload << " ---\n";
+    TextTable table({"memory%", "policy", "miss/kacc", "APPR (nJ)",
+                     "AMAT (ns)", "vs dram-only power"});
+    const auto& profile = synth::parsec_profile(workload);
+    for (const double fraction : {0.55, 0.65, 0.75, 0.85, 0.95}) {
+      sim::ExperimentConfig base;
+      base.memory_fraction = fraction;
+      const double dram_only =
+          bench::run(profile, "dram-only", ctx, base).appr().total();
+      for (const char* policy : {"clock-dwf", "two-lru"}) {
+        const auto r = bench::run(profile, policy, ctx, base);
+        table.add_row(
+            {TextTable::fmt(100 * fraction, 0), policy,
+             TextTable::fmt(1000.0 *
+                                static_cast<double>(r.counts.page_faults) /
+                                static_cast<double>(r.accesses),
+                            3),
+             TextTable::fmt(r.appr().total(), 2),
+             TextTable::fmt(r.amat().total(), 1),
+             TextTable::fmt(r.appr().total() / dram_only, 3)});
+      }
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  return 0;
+}

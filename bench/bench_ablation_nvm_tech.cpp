@@ -1,0 +1,41 @@
+// Ablation A6: NVM technology sensitivity. Table IV fixes PCM; the paper's
+// introduction names STT-RAM and resistive RAM as the other candidates.
+// Re-running the comparison with their parameter sets shows how the
+// migrate-vs-serve trade-off shifts when NVM writes get cheaper: the closer
+// the NVM is to DRAM, the less migration (and the less DRAM) pays.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv, /*default_scale=*/128);
+  bench::print_header("Ablation — NVM technology sensitivity", ctx);
+
+  for (const mem::MemTechnology* nvm :
+       {&mem::pcm_table4(), &mem::stt_ram(), &mem::rram()}) {
+    std::cout << "--- NVM = " << nvm->name << " (" << nvm->read_latency_ns
+              << "/" << nvm->write_latency_ns << " ns, "
+              << nvm->read_energy_nj << "/" << nvm->write_energy_nj
+              << " nJ) ---\n";
+    TextTable table({"workload", "policy", "APPR (nJ)", "AMAT (ns)",
+                     "vs dram-only power"});
+    for (const char* workload : {"facesim", "ferret", "vips"}) {
+      const auto& profile = synth::parsec_profile(workload);
+      sim::ExperimentConfig base;
+      base.nvm = *nvm;
+      const double dram_only =
+          bench::run(profile, "dram-only", ctx, base).appr().total();
+      for (const char* policy : {"clock-dwf", "two-lru"}) {
+        const auto r = bench::run(profile, policy, ctx, base);
+        table.add_row({workload, policy, TextTable::fmt(r.appr().total(), 2),
+                       TextTable::fmt(r.amat().total(), 1),
+                       TextTable::fmt(r.appr().total() / dram_only, 3)});
+      }
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  return 0;
+}

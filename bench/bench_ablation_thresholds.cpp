@@ -1,0 +1,46 @@
+// Ablation A1: read/write migration-threshold sweep (Section V.B).
+//
+// The paper observes that raytrace's optimal thresholds differ from the
+// other workloads' (its near-threshold access bursts make migration
+// decisions risky). This sweep shows the U-shape: thresholds too low cause
+// CLOCK-DWF-like migration storms; too high leaves hot pages stranded in
+// NVM.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv, /*default_scale=*/128);
+  bench::print_header("Ablation — migration threshold sweep", ctx);
+
+  for (const char* workload : {"raytrace", "facesim", "vips"}) {
+    std::cout << "--- " << workload << " ---\n";
+    TextTable table({"read_thr", "write_thr", "promotions/kacc",
+                     "APPR (nJ)", "AMAT (ns)", "NVM writes/acc"});
+    const auto& profile = synth::parsec_profile(workload);
+    for (const std::uint64_t thr : {0ULL, 1ULL, 2ULL, 4ULL, 8ULL, 16ULL,
+                                    32ULL, 64ULL, 256ULL}) {
+      sim::ExperimentConfig config;
+      config.migration.read_threshold = thr;
+      config.migration.write_threshold = thr + thr / 2;
+      const auto result = bench::run(profile, "two-lru", ctx, config);
+      table.add_row(
+          {std::to_string(thr), std::to_string(thr + thr / 2),
+           TextTable::fmt(1000.0 *
+                              static_cast<double>(
+                                  result.counts.migrations_to_dram) /
+                              static_cast<double>(result.accesses),
+                          2),
+           TextTable::fmt(result.appr().total(), 2),
+           TextTable::fmt(result.amat().total(), 1),
+           TextTable::fmt(static_cast<double>(result.nvm_writes().total()) /
+                              static_cast<double>(result.accesses),
+                          3)});
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  return 0;
+}

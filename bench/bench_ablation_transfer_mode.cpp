@@ -1,0 +1,44 @@
+// Ablation A5: separate modules over DMA (the paper's architecture) vs an
+// integrated module with pipelined page copies (its Section II alternative:
+// "if both memory types can be assembled in one module, the migrations can
+// be done more effectively"). Energy and endurance are unchanged — only the
+// migration latency composition differs (sum vs max).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv, /*default_scale=*/128);
+  bench::print_header("Ablation — DMA vs integrated-module migration", ctx);
+
+  for (const char* policy : {"clock-dwf", "two-lru"}) {
+    std::cout << "--- " << policy << " ---\n";
+    TextTable table({"workload", "AMAT dma (ns)", "AMAT integrated (ns)",
+                     "migration dma (ns)", "migration integrated (ns)",
+                     "speedup"});
+    for (const char* workload :
+         {"facesim", "x264", "canneal", "raytrace", "streamcluster"}) {
+      const auto& profile = synth::parsec_profile(workload);
+      sim::ExperimentConfig dma;
+      dma.policy = policy;
+      sim::ExperimentConfig integrated = dma;
+      integrated.transfer_mode = mem::TransferMode::kIntegrated;
+      const auto a = bench::run(profile, policy, ctx, dma);
+      const auto b = bench::run(profile, policy, ctx, integrated);
+      table.add_row({workload, TextTable::fmt(a.amat().total(), 1),
+                     TextTable::fmt(b.amat().total(), 1),
+                     TextTable::fmt(a.amat().migration_ns, 1),
+                     TextTable::fmt(b.amat().migration_ns, 1),
+                     TextTable::fmt(a.amat().total() / b.amat().total(), 3)});
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  std::cout << "Integrated copies shrink only the migration term; policies"
+               "\nthat migrate heavily (CLOCK-DWF) benefit the most — the"
+               "\nthreshold-filtered scheme has little migration left to"
+               " accelerate.\n";
+  return 0;
+}

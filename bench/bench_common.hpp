@@ -1,0 +1,55 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every harness accepts:
+//   --scale N   divide each workload's Table III access counts (and working
+//               set, keeping all ratios) by N. Default 64: the full suite
+//               runs in seconds with the same shapes as scale 1.
+//   --seed S    generator seed (default 42).
+//   --csv       additionally dump the table as CSV to stdout.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/reporter.hpp"
+#include "synth/workload_profile.hpp"
+#include "util/cli.hpp"
+
+namespace hymem::bench {
+
+struct BenchContext {
+  std::uint64_t scale = 64;
+  std::uint64_t seed = 42;
+  bool csv = false;
+};
+
+inline BenchContext parse_args(int argc, char** argv,
+                               std::uint64_t default_scale = 64) {
+  const CliArgs args(argc, argv);
+  BenchContext ctx;
+  ctx.scale = args.get_uint("scale", default_scale);
+  ctx.seed = args.get_uint("seed", 42);
+  ctx.csv = args.get_bool("csv", false);
+  return ctx;
+}
+
+inline void print_header(const std::string& title, const BenchContext& ctx) {
+  std::cout << "### " << title << "\n";
+  std::cout << "(scale 1/" << ctx.scale << ", seed " << ctx.seed
+            << "; workload shapes are scale-stable)\n\n";
+  sim::print_memory_characteristics(std::cout, mem::dram_table4(),
+                                    mem::pcm_table4());
+  std::cout << '\n';
+}
+
+/// Runs one (workload, policy) experiment at the bench's scale.
+inline sim::RunResult run(const synth::WorkloadProfile& profile,
+                          const std::string& policy, const BenchContext& ctx,
+                          sim::ExperimentConfig config = {}) {
+  config.policy = policy;
+  return sim::run_workload(profile, ctx.scale, config, ctx.seed);
+}
+
+}  // namespace hymem::bench

@@ -1,0 +1,32 @@
+// Figure 1: power breakdown of a DRAM-only main memory with LRU, per
+// workload, normalized so each bar sums to 1 (Static / Dynamic / Page Fault).
+//
+// Expected shape (paper, Section III): static power contributes 60-80% for
+// most workloads; streamcluster (large access burst over a tiny footprint)
+// is dynamic-dominated; near-idle workloads like blackscholes are
+// static-dominated.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv);
+  bench::print_header(
+      "Fig. 1 — DRAM-only power breakdown (normalized per workload)", ctx);
+
+  sim::FigureTable table("Fig. 1: DRAM-only APPR shares",
+                         {"static", "dynamic", "pagefault"}, {"dram-only"});
+  for (const auto& profile : synth::parsec_profiles()) {
+    const auto result = bench::run(profile, "dram-only", ctx);
+    const auto power = result.appr();
+    const double total = power.total();
+    table.add(profile.name,
+              {sim::Stack{{power.static_nj / total, power.hit_nj / total,
+                           power.fault_fill_nj / total}}});
+  }
+  table.print(std::cout);
+  if (ctx.csv) table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 2a: CLOCK-DWF power breakdown (Static / Dynamic / Migration)
+// normalized to the DRAM-only power of the same workload.
+//
+// Expected shape: static drops to ~1/5 of the DRAM-only level everywhere;
+// migrations contribute >40% for many workloads; canneal, fluidanimate and
+// streamcluster end up WORSE than DRAM-only (bars above 1.0).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv);
+  bench::print_header("Fig. 2a — CLOCK-DWF power normalized to DRAM-only", ctx);
+
+  sim::FigureTable table("Fig. 2a: CLOCK-DWF APPR / DRAM-only APPR",
+                         {"static", "dynamic", "migration"}, {"clock-dwf"});
+  for (const auto& profile : synth::parsec_profiles()) {
+    const auto base = bench::run(profile, "dram-only", ctx).appr().total();
+    const auto power = bench::run(profile, "clock-dwf", ctx).appr();
+    table.add(profile.name,
+              {sim::Stack{{power.static_nj / base,
+                           (power.hit_nj + power.fault_fill_nj) / base,
+                           power.migration_nj / base}}});
+  }
+  table.print(std::cout);
+  if (ctx.csv) table.print_csv(std::cout);
+  return 0;
+}

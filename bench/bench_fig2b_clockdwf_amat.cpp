@@ -1,0 +1,28 @@
+// Figure 2b: CLOCK-DWF AMAT (Read/Write Requests vs Migrations stacks)
+// normalized to the DRAM-only AMAT of the same workload.
+//
+// Expected shape: migrations contribute the majority of CLOCK-DWF's AMAT in
+// most workloads; totals are well above 1.0 (the paper reports outliers past
+// 10x for the churny workloads).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv);
+  bench::print_header("Fig. 2b — CLOCK-DWF AMAT normalized to DRAM-only", ctx);
+
+  sim::FigureTable table("Fig. 2b: CLOCK-DWF AMAT / DRAM-only AMAT",
+                         {"requests", "migration"}, {"clock-dwf"});
+  for (const auto& profile : synth::parsec_profiles()) {
+    const auto base = bench::run(profile, "dram-only", ctx).amat().total();
+    const auto amat = bench::run(profile, "clock-dwf", ctx).amat();
+    table.add(profile.name, {sim::Stack{{amat.request_ns() / base,
+                                         amat.migration_ns / base}}});
+  }
+  table.print(std::cout);
+  if (ctx.csv) table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 4c: AMAT of the proposed scheme normalized to CLOCK-DWF
+// (Read/Write Requests vs Migrations stacks).
+//
+// Expected shape: below 1.0 almost everywhere (paper: up to 70% better,
+// ~48% G-Mean), with the migration contribution under 50% in most
+// workloads; raytrace and vips tip towards CLOCK-DWF (the paper's
+// threshold-sensitivity discussion).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv);
+  bench::print_header("Fig. 4c — proposed AMAT normalized to CLOCK-DWF", ctx);
+
+  sim::FigureTable table("Fig. 4c: proposed AMAT / CLOCK-DWF AMAT",
+                         {"requests", "migration"}, {"two-lru"});
+  for (const auto& profile : synth::parsec_profiles()) {
+    const double base = bench::run(profile, "clock-dwf", ctx).amat().total();
+    const auto amat = bench::run(profile, "two-lru", ctx).amat();
+    table.add(profile.name, {sim::Stack{{amat.request_ns() / base,
+                                         amat.migration_ns / base}}});
+  }
+  table.print(std::cout);
+  std::cout << "\nproposed / CLOCK-DWF AMAT (G-Mean): "
+            << table.geomean_total(0) << "\n";
+  if (ctx.csv) table.print_csv(std::cout);
+  return 0;
+}

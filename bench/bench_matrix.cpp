@@ -1,0 +1,49 @@
+// The grand matrix: every hybrid policy on every PARSEC workload, one row
+// per (workload, policy), with the three paper metrics side by side.
+// `--json` dumps the full result set for external tooling.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/results_io.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hymem;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_args(argc, argv);
+  const CliArgs args(argc, argv);
+  const bool json = args.get_bool("json", false);
+  bench::print_header("Policy x workload matrix", ctx);
+
+  const std::vector<std::string> policies = {
+      "dram-only", "nvm-only", "static-partition", "dram-cache",
+      "rank-mq",   "clock-dwf", "two-lru",          "two-lru-adaptive"};
+
+  std::vector<sim::RunResult> results;
+  TextTable table({"workload", "policy", "APPR (nJ)", "AMAT (ns)",
+                   "mig/kacc", "NVM writes/kacc"});
+  for (const auto& profile : synth::parsec_profiles()) {
+    for (const auto& policy : policies) {
+      const auto r = bench::run(profile, policy, ctx);
+      const auto accesses = static_cast<double>(r.accesses);
+      table.add_row(
+          {profile.name, policy, TextTable::fmt(r.appr().total(), 2),
+           TextTable::fmt(r.amat().total(), 1),
+           TextTable::fmt(1000.0 * static_cast<double>(r.counts.migrations()) /
+                              accesses,
+                          2),
+           TextTable::fmt(1000.0 *
+                              static_cast<double>(r.nvm_writes().total()) /
+                              accesses,
+                          1)});
+      results.push_back(r);
+    }
+  }
+  if (json) {
+    sim::write_json(results, std::cout);
+  } else {
+    std::cout << table.to_string();
+  }
+  return 0;
+}

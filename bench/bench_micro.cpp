@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark): raw operation throughput of the
+// building blocks — replacement policies, the windowed NVM queue, the cache
+// hierarchy, the trace generator and the end-to-end simulator.
+#include <benchmark/benchmark.h>
+
+#include "cachesim/hierarchy.hpp"
+#include "core/nvm_queue.hpp"
+#include "policy/factory.hpp"
+#include "sim/experiment.hpp"
+#include "sim/policy_factory.hpp"
+#include "synth/cpu_stream.hpp"
+#include "synth/generator.hpp"
+#include "util/random.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using namespace hymem;
+
+void BM_ReplacementPolicyChurn(benchmark::State& state,
+                               const std::string& name) {
+  const std::size_t capacity = 4096;
+  const auto policy = policy::make_replacement(name, capacity);
+  Rng rng(7);
+  ZipfSampler zipf(capacity * 4, 0.8);
+  for (auto _ : state) {
+    const PageId page = zipf.sample(rng);
+    if (policy->contains(page)) {
+      policy->on_hit(page, AccessType::kRead);
+    } else {
+      if (policy->full()) {
+        policy->erase(*policy->select_victim());
+      }
+      policy->insert(page, AccessType::kRead);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CountedLruQueue(benchmark::State& state) {
+  const std::size_t capacity = 4096;
+  core::CountedLruQueue queue(capacity, 0.1, 0.3);
+  Rng rng(5);
+  ZipfSampler zipf(capacity, 0.8);
+  for (PageId p = 0; p < capacity; ++p) queue.insert_front(p);
+  for (auto _ : state) {
+    const PageId page = zipf.sample(rng);
+    benchmark::DoNotOptimize(queue.record_hit(
+        page, rng.next_bool(0.3) ? AccessType::kWrite : AccessType::kRead));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CacheHierarchy(benchmark::State& state) {
+  cachesim::Hierarchy hierarchy((cachesim::HierarchyConfig()));
+  synth::CpuStreamOptions opts;
+  opts.accesses_per_core = 100000;
+  const auto trace = synth::generate_cpu_stream(opts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hierarchy.access(trace[i]);
+    if (++i == trace.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TraceGenerator(benchmark::State& state) {
+  synth::WorkloadProfile profile = synth::parsec_profile("bodytrack").scaled(64);
+  synth::GeneratorOptions options;
+  for (auto _ : state) {
+    options.seed++;
+    benchmark::DoNotOptimize(synth::generate(profile, options));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(profile.total_accesses()));
+}
+
+void BM_EndToEndSimulation(benchmark::State& state,
+                           const std::string& policy) {
+  const auto profile = synth::parsec_profile("bodytrack");
+  sim::ExperimentConfig config;
+  config.policy = policy;
+  config.warmup_passes = 0;
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    const auto result = sim::run_workload(profile, 128, config, 42);
+    accesses += result.accesses;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+
+BENCHMARK_CAPTURE(BM_ReplacementPolicyChurn, lru, "lru");
+BENCHMARK_CAPTURE(BM_ReplacementPolicyChurn, clock, "clock");
+BENCHMARK_CAPTURE(BM_ReplacementPolicyChurn, clock_pro, "clock-pro");
+BENCHMARK_CAPTURE(BM_ReplacementPolicyChurn, car, "car");
+BENCHMARK(BM_CountedLruQueue);
+BENCHMARK(BM_CacheHierarchy);
+BENCHMARK(BM_TraceGenerator);
+BENCHMARK_CAPTURE(BM_EndToEndSimulation, two_lru, "two-lru");
+BENCHMARK_CAPTURE(BM_EndToEndSimulation, clock_dwf, "clock-dwf");
+
+}  // namespace
+
+BENCHMARK_MAIN();

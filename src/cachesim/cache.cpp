@@ -1,0 +1,86 @@
+#include "cachesim/cache.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::cachesim {
+
+Cache::Cache(const CacheGeometry& geometry) : geom_(geometry) {
+  HYMEM_CHECK_MSG(geom_.valid(), "invalid cache geometry");
+  lines_.resize(geom_.sets() * geom_.associativity);
+}
+
+std::uint64_t Cache::set_index(Addr addr) const {
+  return (addr / geom_.line_size) & (geom_.sets() - 1);
+}
+
+Cache::Line* Cache::find(Addr addr) {
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set_index(addr) * geom_.associativity];
+  for (std::uint32_t w = 0; w < geom_.associativity; ++w) {
+    if (base[w].state != LineState::kInvalid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(Addr addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+LineState Cache::probe(Addr addr) const {
+  const Line* line = find(addr);
+  return line ? line->state : LineState::kInvalid;
+}
+
+void Cache::touch(Addr addr) {
+  Line* line = find(addr);
+  HYMEM_CHECK_MSG(line != nullptr, "touch on absent line");
+  line->lru = ++clock_;
+}
+
+void Cache::set_state(Addr addr, LineState state) {
+  HYMEM_CHECK_MSG(state != LineState::kInvalid, "use invalidate() instead");
+  Line* line = find(addr);
+  HYMEM_CHECK_MSG(line != nullptr, "set_state on absent line");
+  line->state = state;
+}
+
+std::optional<Eviction> Cache::insert(Addr addr, LineState state) {
+  HYMEM_CHECK_MSG(state != LineState::kInvalid, "cannot insert invalid line");
+  HYMEM_CHECK_MSG(find(addr) == nullptr, "line already present");
+  Line* base = &lines_[set_index(addr) * geom_.associativity];
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < geom_.associativity; ++w) {
+    Line& candidate = base[w];
+    if (candidate.state == LineState::kInvalid) {
+      victim = &candidate;
+      break;
+    }
+    if (candidate.lru < victim->lru) victim = &candidate;
+  }
+  std::optional<Eviction> evicted;
+  if (victim->state != LineState::kInvalid) {
+    evicted = Eviction{victim->tag, is_dirty(victim->state)};
+  }
+  victim->tag = tag_of(addr);
+  victim->state = state;
+  victim->lru = ++clock_;
+  return evicted;
+}
+
+LineState Cache::invalidate(Addr addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return LineState::kInvalid;
+  const LineState prior = line->state;
+  line->state = LineState::kInvalid;
+  return prior;
+}
+
+std::uint64_t Cache::valid_lines() const {
+  std::uint64_t n = 0;
+  for (const Line& line : lines_) n += (line.state != LineState::kInvalid);
+  return n;
+}
+
+}  // namespace hymem::cachesim

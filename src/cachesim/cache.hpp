@@ -1,0 +1,81 @@
+// One set-associative, write-back cache array with per-set LRU and
+// MESI-style line states. The Cache stores tags and states only — the
+// coherence protocol itself lives in Hierarchy, which drives these arrays.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cachesim/cache_config.hpp"
+#include "util/types.hpp"
+
+namespace hymem::cachesim {
+
+/// MESI line state. For the (non-coherent) LLC, kModified simply means dirty.
+enum class LineState : std::uint8_t {
+  kInvalid = 0,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+/// Whether the state implies ownership of a dirty copy.
+constexpr bool is_dirty(LineState s) { return s == LineState::kModified; }
+
+/// Result of inserting a line: the victim that had to leave, if any.
+struct Eviction {
+  Addr line_addr = 0;
+  bool dirty = false;
+};
+
+/// Tag/state array. All addresses passed in are full byte addresses; the
+/// cache masks them to line granularity internally.
+class Cache {
+ public:
+  explicit Cache(const CacheGeometry& geometry);
+
+  const CacheGeometry& geometry() const { return geom_; }
+
+  /// Line-aligned base of an address.
+  Addr line_of(Addr addr) const { return addr & ~(static_cast<Addr>(geom_.line_size) - 1); }
+
+  /// State of the line holding addr (kInvalid when absent). Does not touch LRU.
+  LineState probe(Addr addr) const;
+
+  bool contains(Addr addr) const { return probe(addr) != LineState::kInvalid; }
+
+  /// Marks the line as most-recently used. Line must be present.
+  void touch(Addr addr);
+
+  /// Changes a present line's state (upgrade/downgrade).
+  void set_state(Addr addr, LineState state);
+
+  /// Inserts the line with the given state, evicting the set's LRU victim if
+  /// needed. The line must not already be present. Returns the eviction.
+  std::optional<Eviction> insert(Addr addr, LineState state);
+
+  /// Removes the line if present; returns its state before removal.
+  LineState invalidate(Addr addr);
+
+  /// Number of valid lines (for tests / occupancy checks).
+  std::uint64_t valid_lines() const;
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    LineState state = LineState::kInvalid;
+    std::uint64_t lru = 0;  // larger = more recent
+  };
+
+  std::uint64_t set_index(Addr addr) const;
+  Addr tag_of(Addr addr) const { return line_of(addr); }
+  Line* find(Addr addr);
+  const Line* find(Addr addr) const;
+
+  CacheGeometry geom_;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace hymem::cachesim

@@ -1,0 +1,38 @@
+// Cache geometry description and the paper's Table II presets.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace hymem::cachesim {
+
+/// Geometry of one set-associative cache.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 32 * kKiB;
+  std::uint32_t associativity = 4;
+  std::uint32_t line_size = 64;
+
+  std::uint64_t lines() const { return size_bytes / line_size; }
+  std::uint64_t sets() const { return lines() / associativity; }
+
+  /// Valid iff sizes are powers of two and divide evenly.
+  bool valid() const {
+    auto pow2 = [](std::uint64_t v) { return v && (v & (v - 1)) == 0; };
+    return pow2(size_bytes) && pow2(line_size) && associativity > 0 &&
+           size_bytes % (static_cast<std::uint64_t>(line_size) * associativity) == 0 &&
+           pow2(sets());
+  }
+};
+
+/// Table II: 32KB write-back 4-way L1 (data and instruction), 64B lines.
+constexpr CacheGeometry table2_l1() {
+  return {.size_bytes = 32 * kKiB, .associativity = 4, .line_size = 64};
+}
+
+/// Table II: 2MB write-back 16-way shared last-level cache, 64B lines.
+constexpr CacheGeometry table2_llc() {
+  return {.size_bytes = 2 * kMiB, .associativity = 16, .line_size = 64};
+}
+
+}  // namespace hymem::cachesim

@@ -1,0 +1,133 @@
+#include "cachesim/hierarchy.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::cachesim {
+
+Hierarchy::Hierarchy(const HierarchyConfig& config, MemorySink sink)
+    : config_(config), sink_(std::move(sink)), llc_(config.llc) {
+  HYMEM_CHECK(config.cores > 0);
+  HYMEM_CHECK_MSG(config.l1d.line_size == config.llc.line_size,
+                  "L1 and LLC line sizes must match");
+  l1d_.reserve(config.cores);
+  for (unsigned c = 0; c < config.cores; ++c) l1d_.emplace_back(config.l1d);
+}
+
+void Hierarchy::emit(Addr line, AccessType type) {
+  if (type == AccessType::kRead) {
+    ++stats_.memory_reads;
+  } else {
+    ++stats_.memory_writes;
+  }
+  if (sink_) sink_(line, type);
+}
+
+void Hierarchy::llc_insert(Addr line, bool dirty) {
+  const auto evicted =
+      llc_.insert(line, dirty ? LineState::kModified : LineState::kShared);
+  if (!evicted) return;
+  // Inclusive LLC: evicting a line forces it out of every L1. A Modified L1
+  // copy holds fresher data than the LLC, so it must reach memory too.
+  bool needs_writeback = evicted->dirty;
+  for (Cache& l1 : l1d_) {
+    const LineState prior = l1.invalidate(evicted->line_addr);
+    if (prior == LineState::kInvalid) continue;
+    ++stats_.invalidations;
+    if (prior == LineState::kModified) needs_writeback = true;
+  }
+  if (needs_writeback) {
+    ++stats_.llc_writebacks;
+    emit(evicted->line_addr, AccessType::kWrite);
+  }
+}
+
+void Hierarchy::miss_fill(unsigned core, Addr line, AccessType type) {
+  // Snoop peer L1s: a Modified peer supplies the data (via the LLC) and is
+  // downgraded; on a write every peer copy is invalidated.
+  bool peer_has_copy = false;
+  for (unsigned c = 0; c < config_.cores; ++c) {
+    if (c == core) continue;
+    Cache& peer = l1d_[c];
+    const LineState st = peer.probe(line);
+    if (st == LineState::kInvalid) continue;
+    peer_has_copy = true;
+    if (st == LineState::kModified) {
+      ++stats_.interventions;
+      // Inclusive hierarchy: the LLC holds the line; absorb the dirty data.
+      llc_.set_state(line, LineState::kModified);
+    }
+    if (type == AccessType::kWrite) {
+      peer.invalidate(line);
+      ++stats_.invalidations;
+    } else if (st != LineState::kShared) {
+      peer.set_state(line, LineState::kShared);
+    }
+  }
+
+  if (llc_.contains(line)) {
+    ++stats_.llc_hits;
+    llc_.touch(line);
+  } else {
+    ++stats_.llc_misses;
+    emit(line, AccessType::kRead);
+    llc_insert(line, /*dirty=*/false);
+  }
+
+  const LineState fill_state =
+      type == AccessType::kWrite
+          ? LineState::kModified
+          : (peer_has_copy ? LineState::kShared : LineState::kExclusive);
+  const auto evicted = l1d_[core].insert(line, fill_state);
+  if (evicted && evicted->dirty) {
+    ++stats_.l1_writebacks;
+    // Write-back lands in the (inclusive, hence present) LLC, not memory.
+    HYMEM_CHECK_MSG(llc_.contains(evicted->line_addr),
+                    "inclusion violated: dirty L1 line absent from LLC");
+    llc_.set_state(evicted->line_addr, LineState::kModified);
+  }
+}
+
+void Hierarchy::access(const trace::MemAccess& access) {
+  HYMEM_CHECK_MSG(access.core < config_.cores, "access.core out of range");
+  ++stats_.accesses;
+  const Addr line = llc_.line_of(access.addr);
+  Cache& l1 = l1d_[access.core];
+  const LineState st = l1.probe(line);
+  if (st != LineState::kInvalid) {
+    ++stats_.l1_hits;
+    l1.touch(line);
+    if (access.type == AccessType::kWrite) {
+      if (st == LineState::kShared) {
+        // Upgrade: invalidate every peer copy (bus upgrade, no memory traffic).
+        for (unsigned c = 0; c < config_.cores; ++c) {
+          if (c == access.core) continue;
+          if (l1d_[c].invalidate(line) != LineState::kInvalid) {
+            ++stats_.invalidations;
+          }
+        }
+      }
+      l1.set_state(line, LineState::kModified);
+    }
+    return;
+  }
+  ++stats_.l1_misses;
+  miss_fill(access.core, line, access.type);
+}
+
+void Hierarchy::run(const trace::Trace& cpu_trace) {
+  for (const auto& a : cpu_trace) access(a);
+}
+
+trace::Trace Hierarchy::filter(const trace::Trace& cpu_trace,
+                               const HierarchyConfig& config,
+                               HierarchyStats* stats_out) {
+  trace::Trace out(cpu_trace.name() + ".mem");
+  Hierarchy h(config, [&out](Addr line, AccessType type) {
+    out.append(line, type);
+  });
+  h.run(cpu_trace);
+  if (stats_out) *stats_out = h.stats();
+  return out;
+}
+
+}  // namespace hymem::cachesim

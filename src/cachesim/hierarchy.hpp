@@ -1,0 +1,94 @@
+// Multi-core cache hierarchy: per-core private L1 data caches kept coherent
+// with a MESI invalidation protocol over an inclusive shared LLC.
+//
+// This is the reproduction's substitute for COTSon (Table II): its only job
+// in the paper's methodology is to turn CPU request streams into the
+// *main-memory* access stream — LLC fills become memory reads, dirty LLC
+// evictions become memory writes. Instruction fetch is not modeled (the
+// evaluation uses ROI data accesses); the L1I geometry is retained in the
+// config for documentation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/cache_config.hpp"
+#include "trace/trace.hpp"
+
+namespace hymem::cachesim {
+
+/// Hierarchy configuration; defaults reproduce Table II.
+struct HierarchyConfig {
+  unsigned cores = 4;
+  CacheGeometry l1d = table2_l1();
+  CacheGeometry l1i = table2_l1();  ///< Documented but not simulated.
+  CacheGeometry llc = table2_llc();
+};
+
+/// Per-level and coherence counters.
+struct HierarchyStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t l1_writebacks = 0;    ///< Dirty L1 evictions into the LLC.
+  std::uint64_t llc_writebacks = 0;   ///< Dirty LLC evictions into memory.
+  std::uint64_t invalidations = 0;    ///< Coherence invalidations of L1 copies.
+  std::uint64_t interventions = 0;    ///< Dirty peer-L1 supplies (M -> S/I).
+  std::uint64_t memory_reads = 0;
+  std::uint64_t memory_writes = 0;
+
+  double l1_hit_ratio() const {
+    return accesses ? static_cast<double>(l1_hits) / static_cast<double>(accesses) : 0.0;
+  }
+  double llc_hit_ratio() const {
+    const auto probes = llc_hits + llc_misses;
+    return probes ? static_cast<double>(llc_hits) / static_cast<double>(probes) : 0.0;
+  }
+  /// Fraction of CPU requests that reach main memory.
+  double memory_filter_ratio() const {
+    return accesses ? static_cast<double>(memory_reads + memory_writes) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+/// The hierarchy. Feed CPU accesses in program order; main-memory requests
+/// come out through the sink callback (line-granular addresses).
+class Hierarchy {
+ public:
+  /// Called for every main-memory request the hierarchy generates.
+  using MemorySink = std::function<void(Addr line_addr, AccessType type)>;
+
+  explicit Hierarchy(const HierarchyConfig& config, MemorySink sink = {});
+
+  const HierarchyConfig& config() const { return config_; }
+  const HierarchyStats& stats() const { return stats_; }
+
+  /// Simulates one CPU access (access.core selects the L1).
+  void access(const trace::MemAccess& access);
+
+  /// Replays an entire CPU trace.
+  void run(const trace::Trace& cpu_trace);
+
+  /// Convenience: filters a CPU trace into the main-memory trace it induces.
+  static trace::Trace filter(const trace::Trace& cpu_trace,
+                             const HierarchyConfig& config,
+                             HierarchyStats* stats_out = nullptr);
+
+ private:
+  void miss_fill(unsigned core, Addr line, AccessType type);
+  void llc_insert(Addr line, bool dirty);
+  void emit(Addr line, AccessType type);
+
+  HierarchyConfig config_;
+  MemorySink sink_;
+  std::vector<Cache> l1d_;
+  Cache llc_;
+  HierarchyStats stats_;
+};
+
+}  // namespace hymem::cachesim

@@ -1,0 +1,75 @@
+#include "core/adaptive_threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hymem::core {
+
+AdaptiveThresholdController::AdaptiveThresholdController(
+    const MigrationConfig& initial, const AdaptiveConfig& config,
+    std::uint64_t break_even_hits)
+    : config_(config),
+      break_even_(std::max<std::uint64_t>(1, break_even_hits)),
+      read_threshold_(initial.read_threshold),
+      write_threshold_(initial.write_threshold) {
+  HYMEM_CHECK(config.window > 0);
+  HYMEM_CHECK(config.min_threshold >= 1);
+  HYMEM_CHECK(config.max_threshold >= config.min_threshold);
+}
+
+std::uint64_t AdaptiveThresholdController::break_even(
+    const mem::MemTechnology& dram, const mem::MemTechnology& nvm,
+    std::uint64_t page_factor) {
+  const double round_trip =
+      static_cast<double>(page_factor) *
+      (nvm.read_latency_ns + dram.write_latency_ns +  // NVM -> DRAM
+       dram.read_latency_ns + nvm.write_latency_ns);  // eventual DRAM -> NVM
+  const double nvm_avg = (nvm.read_latency_ns + nvm.write_latency_ns) / 2.0;
+  const double dram_avg = (dram.read_latency_ns + dram.write_latency_ns) / 2.0;
+  const double saving = nvm_avg - dram_avg;
+  if (saving <= 0.0) return 1;
+  return static_cast<std::uint64_t>(std::ceil(round_trip / saving));
+}
+
+void AdaptiveThresholdController::observe_promotion_outcome(
+    std::uint64_t dram_hits) {
+  const bool beneficial = dram_hits >= break_even_;
+  ++observed_;
+  ++window_total_;
+  if (beneficial) {
+    ++beneficial_;
+    ++window_beneficial_;
+  }
+  if (window_total_ >= config_.window) adapt();
+}
+
+double AdaptiveThresholdController::lifetime_beneficial_fraction() const {
+  return observed_ ? static_cast<double>(beneficial_) /
+                         static_cast<double>(observed_)
+                   : 1.0;
+}
+
+void AdaptiveThresholdController::adapt() {
+  const double fraction = static_cast<double>(window_beneficial_) /
+                          static_cast<double>(window_total_);
+  auto clamp = [&](std::uint64_t v) {
+    return std::clamp(v, config_.min_threshold, config_.max_threshold);
+  };
+  if (fraction < config_.raise_below) {
+    // Too many wasted round trips: demand more evidence before promoting.
+    read_threshold_ = clamp(read_threshold_ + 1);
+    write_threshold_ = clamp(write_threshold_ + 2);
+    ++adaptations_;
+  } else if (fraction > config_.lower_above) {
+    // Nearly everything pays off: we are likely leaving hot pages in NVM.
+    read_threshold_ = clamp(read_threshold_ > 1 ? read_threshold_ - 1 : 1);
+    write_threshold_ = clamp(write_threshold_ > 1 ? write_threshold_ - 1 : 1);
+    ++adaptations_;
+  }
+  window_total_ = 0;
+  window_beneficial_ = 0;
+}
+
+}  // namespace hymem::core

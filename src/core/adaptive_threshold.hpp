@@ -1,0 +1,76 @@
+// Adaptive threshold controller — the extension the paper flags as ongoing
+// research in Section V.B ("using adaptive threshold prediction can further
+// improve the efficiency of the proposed scheme", motivated by raytrace,
+// whose optimal thresholds differ from the other workloads').
+//
+// Mechanism: every promoted page is scored when it later leaves DRAM. The
+// migration "paid off" iff the page collected at least `break_even` DRAM
+// hits — the number of accesses at which the DRAM-vs-NVM latency savings
+// amortize the round-trip DMA cost. The controller tracks the recent
+// beneficial fraction and nudges the thresholds: too many wasted migrations
+// -> raise thresholds (be pickier); almost all beneficial -> lower them
+// (harvest more candidates).
+#pragma once
+
+#include <cstdint>
+
+#include "core/migration_config.hpp"
+#include "mem/technology.hpp"
+
+namespace hymem::core {
+
+/// Controller tunables.
+struct AdaptiveConfig {
+  /// Migrations scored per adaptation step.
+  std::uint64_t window = 64;
+  /// Raise thresholds when the beneficial fraction drops below this.
+  double raise_below = 0.5;
+  /// Lower thresholds when the beneficial fraction exceeds this.
+  double lower_above = 0.9;
+  std::uint64_t min_threshold = 1;
+  std::uint64_t max_threshold = 64;
+};
+
+/// Feedback controller over the two migration thresholds.
+class AdaptiveThresholdController {
+ public:
+  AdaptiveThresholdController(const MigrationConfig& initial,
+                              const AdaptiveConfig& config,
+                              std::uint64_t break_even_hits);
+
+  /// Break-even DRAM hit count for the given technologies and page factor:
+  /// ceil(PageFactor * (TR_nvm + TW_dram + TR_dram + TW_nvm) /
+  ///      (avg NVM latency - avg DRAM latency)) — a full round trip,
+  /// amortized by the per-access latency saving.
+  static std::uint64_t break_even(const mem::MemTechnology& dram,
+                                  const mem::MemTechnology& nvm,
+                                  std::uint64_t page_factor);
+
+  std::uint64_t read_threshold() const { return read_threshold_; }
+  std::uint64_t write_threshold() const { return write_threshold_; }
+  std::uint64_t break_even_hits() const { return break_even_; }
+
+  /// Scores one finished promotion: the page left DRAM after `dram_hits`
+  /// demand hits.
+  void observe_promotion_outcome(std::uint64_t dram_hits);
+
+  std::uint64_t adaptations() const { return adaptations_; }
+  std::uint64_t observed() const { return observed_; }
+  /// Beneficial fraction over everything observed so far.
+  double lifetime_beneficial_fraction() const;
+
+ private:
+  void adapt();
+
+  AdaptiveConfig config_;
+  std::uint64_t break_even_;
+  std::uint64_t read_threshold_;
+  std::uint64_t write_threshold_;
+  std::uint64_t window_total_ = 0;
+  std::uint64_t window_beneficial_ = 0;
+  std::uint64_t observed_ = 0;
+  std::uint64_t beneficial_ = 0;
+  std::uint64_t adaptations_ = 0;
+};
+
+}  // namespace hymem::core

@@ -1,0 +1,34 @@
+// Parameters of the proposed data-migration scheme (Section IV).
+//
+// The paper prescribes the *relations*: write-dominant pages get priority,
+// so `write_perc` and `write_threshold` are set higher than `read_perc` and
+// `read_threshold`; the absolute values depend on the migration cost of the
+// chosen NVM and are swept by bench_ablation_thresholds.
+#pragma once
+
+#include <cstdint>
+
+namespace hymem::core {
+
+/// Tunables of the two-LRU migration scheme.
+struct MigrationConfig {
+  /// Fraction of top NVM LRU positions holding a read counter.
+  double read_perc = 0.10;
+  /// Fraction of top NVM LRU positions holding a write counter (> read_perc).
+  double write_perc = 0.30;
+  /// A page whose windowed read counter EXCEEDS this migrates to DRAM.
+  std::uint64_t read_threshold = 8;
+  /// A page whose windowed write counter EXCEEDS this migrates to DRAM
+  /// (> read_threshold, per Section IV).
+  std::uint64_t write_threshold = 12;
+  /// Enable the adaptive threshold controller (the paper's "ongoing
+  /// research" extension).
+  bool adaptive = false;
+  /// Optional migration rate limit: at most this many promotions per 1000
+  /// accesses (token bucket; 0 = unlimited). A real OS bounds migration
+  /// bandwidth so the DMA engine cannot starve demand traffic; the limiter
+  /// also caps the damage of a mis-set threshold on churny workloads.
+  std::uint64_t max_promotions_per_kacc = 0;
+};
+
+}  // namespace hymem::core

@@ -1,0 +1,128 @@
+#include "core/migration_scheme.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hymem::core {
+
+TwoLruMigrationPolicy::TwoLruMigrationPolicy(os::Vmm& vmm,
+                                             const MigrationConfig& config)
+    : policy::HybridPolicy(vmm),
+      config_(config),
+      dram_(static_cast<std::size_t>(vmm.frames(Tier::kDram))),
+      nvm_(static_cast<std::size_t>(vmm.frames(Tier::kNvm)),
+           config.read_perc, config.write_perc) {
+  HYMEM_CHECK_MSG(vmm.frames(Tier::kDram) > 0 && vmm.frames(Tier::kNvm) > 0,
+                  "the migration scheme needs both modules populated");
+  if (config_.adaptive) {
+    const auto& cfg = vmm.config();
+    controller_ = std::make_unique<AdaptiveThresholdController>(
+        config_, AdaptiveConfig{},
+        AdaptiveThresholdController::break_even(cfg.dram, cfg.nvm,
+                                                vmm.page_factor()));
+  }
+}
+
+std::uint64_t TwoLruMigrationPolicy::read_threshold() const {
+  return controller_ ? controller_->read_threshold() : config_.read_threshold;
+}
+
+std::uint64_t TwoLruMigrationPolicy::write_threshold() const {
+  return controller_ ? controller_->write_threshold() : config_.write_threshold;
+}
+
+void TwoLruMigrationPolicy::close_promotion(PageId page) {
+  const auto it = promoted_hits_.find(page);
+  if (it == promoted_hits_.end()) return;
+  if (controller_) controller_->observe_promotion_outcome(it->second);
+  promoted_hits_.erase(it);
+}
+
+Nanoseconds TwoLruMigrationPolicy::demote_dram_victim() {
+  const auto victim = dram_.select_victim();
+  HYMEM_CHECK_MSG(victim.has_value(), "DRAM LRU empty while full");
+  if (!vmm_.has_free_frame(Tier::kNvm)) {
+    const auto nvm_victim = nvm_.lru_victim();
+    HYMEM_CHECK_MSG(nvm_victim.has_value(), "NVM queue empty while full");
+    nvm_.erase(*nvm_victim);
+    vmm_.evict(*nvm_victim);
+  }
+  close_promotion(*victim);
+  dram_.erase(*victim);
+  const Nanoseconds latency = vmm_.migrate(*victim, Tier::kNvm);
+  nvm_.insert_front(*victim);
+  ++demotions_;
+  return latency;
+}
+
+Nanoseconds TwoLruMigrationPolicy::promote(PageId page) {
+  Nanoseconds latency = 0;
+  if (vmm_.has_free_frame(Tier::kDram)) {
+    nvm_.erase(page);
+    latency += vmm_.migrate(page, Tier::kDram);
+  } else {
+    const auto victim = dram_.select_victim();
+    HYMEM_CHECK_MSG(victim.has_value(), "DRAM LRU empty while full");
+    close_promotion(*victim);
+    dram_.erase(*victim);
+    nvm_.erase(page);
+    latency += vmm_.swap(page, *victim);
+    nvm_.insert_front(*victim);
+    ++demotions_;
+  }
+  dram_.insert(page, AccessType::kRead);
+  promoted_hits_.emplace(page, 0);
+  ++promotions_;
+  return latency;
+}
+
+bool TwoLruMigrationPolicy::admit_promotion() {
+  if (config_.max_promotions_per_kacc == 0) return true;
+  if (tokens_ < 1.0) {
+    ++throttled_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  return true;
+}
+
+Nanoseconds TwoLruMigrationPolicy::on_access(PageId page, AccessType type) {
+  // Refill the promotion token bucket (rate per 1000 accesses).
+  ++accesses_seen_;
+  if (config_.max_promotions_per_kacc > 0) {
+    tokens_ = std::min(
+        static_cast<double>(config_.max_promotions_per_kacc),
+        tokens_ + static_cast<double>(config_.max_promotions_per_kacc) / 1000.0);
+  }
+  const auto tier = vmm_.tier_of(page);
+  if (tier == Tier::kDram) {
+    // Algorithm 1 lines 2-3: plain LRU housekeeping.
+    dram_.on_hit(page, type);
+    const auto it = promoted_hits_.find(page);
+    if (it != promoted_hits_.end()) ++it->second;
+    return vmm_.access(page, type);
+  }
+  if (tier == Tier::kNvm) {
+    // Lines 5-25: serve from NVM, update the windowed counter, and promote
+    // only past the threshold.
+    const Nanoseconds serve = vmm_.access(page, type);
+    const std::uint64_t counter = nvm_.record_hit(page, type);
+    const std::uint64_t threshold =
+        type == AccessType::kRead ? read_threshold() : write_threshold();
+    if (counter > threshold && admit_promotion()) {
+      return serve + promote(page);
+    }
+    return serve;
+  }
+  // Lines 27-28: all page faults fill DRAM; demote the DRAM LRU victim when
+  // needed.
+  Nanoseconds latency = 0;
+  if (!vmm_.has_free_frame(Tier::kDram)) latency += demote_dram_victim();
+  latency += vmm_.fault_in(page, Tier::kDram);
+  dram_.insert(page, type);
+  if (type == AccessType::kWrite) vmm_.touch_dirty(page);
+  return latency;
+}
+
+}  // namespace hymem::core

@@ -1,0 +1,84 @@
+// The paper's proposed data-migration scheme (Section IV, Algorithm 1).
+//
+// Two unmodified LRU queues — one per module — so the hit ratio matches a
+// plain LRU of the same total size. The scheme only decides *placement*:
+//
+//   * every page fault fills DRAM (all-new pages are the most likely to be
+//     re-accessed; landing them in NVM would cost an NVM page write anyway,
+//     because the demotion it forces writes a page into NVM regardless);
+//   * the DRAM LRU victim demotes to the NVM queue head;
+//   * the NVM LRU victim evicts to disk;
+//   * an NVM page migrates to DRAM only when its windowed read/write counter
+//     exceeds read_threshold / write_threshold — i.e. only when the page has
+//     proven hot enough that the DMA round trip will pay for itself. Unlike
+//     CLOCK-DWF, writes to NVM pages are served *by NVM* until that proof
+//     arrives.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/adaptive_threshold.hpp"
+#include "core/migration_config.hpp"
+#include "core/nvm_queue.hpp"
+#include "policy/hybrid_policy.hpp"
+#include "policy/lru.hpp"
+
+namespace hymem::core {
+
+/// The proposed two-LRU migration policy.
+class TwoLruMigrationPolicy final : public policy::HybridPolicy {
+ public:
+  TwoLruMigrationPolicy(os::Vmm& vmm, const MigrationConfig& config);
+
+  std::string_view name() const override {
+    return config_.adaptive ? "two-lru-adaptive" : "two-lru";
+  }
+  Nanoseconds on_access(PageId page, AccessType type) override;
+
+  const MigrationConfig& config() const { return config_; }
+  const CountedLruQueue& nvm_queue() const { return nvm_; }
+  const policy::LruPolicy& dram_queue() const { return dram_; }
+
+  /// Effective thresholds (tracks the controller when adaptive).
+  std::uint64_t read_threshold() const;
+  std::uint64_t write_threshold() const;
+
+  /// Migrations the scheme initiated NVM->DRAM (threshold crossings).
+  std::uint64_t promotions() const { return promotions_; }
+  /// Demotions DRAM->NVM (capacity-forced).
+  std::uint64_t demotions() const { return demotions_; }
+  /// Promotions suppressed by the rate limiter.
+  std::uint64_t throttled_promotions() const { return throttled_; }
+
+  /// Controller (null unless adaptive).
+  const AdaptiveThresholdController* controller() const {
+    return controller_.get();
+  }
+
+ private:
+  /// Promotes an NVM-resident page into DRAM, demoting the DRAM LRU victim
+  /// when DRAM is full. Returns migration latency.
+  Nanoseconds promote(PageId page);
+  /// Frees a DRAM frame by demoting the DRAM LRU victim into the NVM queue
+  /// head (evicting the NVM LRU victim to disk when NVM is full too).
+  Nanoseconds demote_dram_victim();
+  /// Tells the controller a promoted page just left DRAM.
+  void close_promotion(PageId page);
+  /// Token-bucket admission for one promotion (true = allowed).
+  bool admit_promotion();
+
+  MigrationConfig config_;
+  policy::LruPolicy dram_;
+  CountedLruQueue nvm_;
+  std::unique_ptr<AdaptiveThresholdController> controller_;
+  /// DRAM demand hits of pages that arrived via promotion (for scoring).
+  std::unordered_map<PageId, std::uint64_t> promoted_hits_;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t throttled_ = 0;
+  std::uint64_t accesses_seen_ = 0;
+  double tokens_ = 0.0;
+};
+
+}  // namespace hymem::core

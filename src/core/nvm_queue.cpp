@@ -1,0 +1,177 @@
+#include "core/nvm_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hymem::core {
+
+namespace {
+
+std::size_t window_target(double perc, std::size_t capacity) {
+  HYMEM_CHECK_MSG(perc >= 0.0 && perc <= 1.0, "window fraction out of [0,1]");
+  const auto target = static_cast<std::size_t>(
+      std::ceil(perc * static_cast<double>(capacity)));
+  return std::min(target, capacity);
+}
+
+}  // namespace
+
+CountedLruQueue::CountedLruQueue(std::size_t capacity, double read_perc,
+                                 double write_perc)
+    : capacity_(capacity) {
+  HYMEM_CHECK_MSG(capacity > 0, "queue capacity must be positive");
+  read_win_ = Window{window_target(read_perc, capacity), 0, nullptr,
+                     &Node::in_read, &Node::read_ctr};
+  write_win_ = Window{window_target(write_perc, capacity), 0, nullptr,
+                      &Node::in_write, &Node::write_ctr};
+}
+
+CountedLruQueue::Node* CountedLruQueue::find(PageId page) const {
+  const auto it = nodes_.find(page);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void CountedLruQueue::enter_front(Window& w, Node& node) {
+  if (w.target == 0) return;
+  if (node.*(w.flag)) {
+    // Already a member: membership is unchanged; only the boundary can
+    // shift if the boundary node itself is moving to the front.
+    if (w.boundary == &node && w.count > 1) {
+      w.boundary = list_.prev(node);
+    }
+    return;
+  }
+  if (w.count >= w.target) {
+    // Window is full: the current boundary page drops out and its counter
+    // resets (Algorithm 1 lines 8-9).
+    Node* leaver = w.boundary;
+    leaver->*(w.flag) = false;
+    leaver->*(w.ctr) = 0;
+    w.boundary = w.count > 1 ? list_.prev(*leaver) : nullptr;
+  } else {
+    ++w.count;
+  }
+  node.*(w.flag) = true;
+  if (w.boundary == nullptr) w.boundary = &node;
+}
+
+void CountedLruQueue::leave(Window& w, Node& node) {
+  if (!(node.*(w.flag))) return;
+  if (w.boundary == &node) {
+    w.boundary = w.count > 1 ? list_.prev(node) : nullptr;
+  }
+  node.*(w.flag) = false;
+  node.*(w.ctr) = 0;
+  --w.count;
+}
+
+void CountedLruQueue::refill(Window& w) {
+  while (w.count < std::min(w.target, list_.size())) {
+    Node* next = w.boundary ? list_.next(*w.boundary) : list_.front();
+    if (next == nullptr) break;
+    next->*(w.flag) = true;
+    next->*(w.ctr) = 0;
+    w.boundary = next;
+    ++w.count;
+  }
+}
+
+std::uint64_t CountedLruQueue::record_hit(PageId page, AccessType type) {
+  Node* node = find(page);
+  HYMEM_CHECK_MSG(node != nullptr, "hit on untracked page");
+  const bool is_read = type == AccessType::kRead;
+  const bool was_in = is_read ? node->in_read : node->in_write;
+
+  enter_front(read_win_, *node);
+  enter_front(write_win_, *node);
+  list_.move_to_front(*node);
+
+  // Algorithm 1 lines 10-22: increment inside the window, restart at 1 when
+  // (re-)entering from outside. A zero-width window tracks nothing.
+  const bool now_in = is_read ? node->in_read : node->in_write;
+  std::uint64_t& ctr = is_read ? node->read_ctr : node->write_ctr;
+  ctr = now_in ? (was_in ? ctr + 1 : 1) : 0;
+  return ctr;
+}
+
+void CountedLruQueue::insert_front(PageId page) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full queue");
+  auto owned = std::make_unique<Node>();
+  Node* node = owned.get();
+  node->page = page;
+  enter_front(read_win_, *node);
+  enter_front(write_win_, *node);
+  list_.push_front(*node);
+  nodes_.emplace(page, std::move(owned));
+}
+
+void CountedLruQueue::erase(PageId page) {
+  const auto it = nodes_.find(page);
+  HYMEM_CHECK_MSG(it != nodes_.end(), "erase of untracked page");
+  Node* node = it->second.get();
+  leave(read_win_, *node);
+  leave(write_win_, *node);
+  list_.erase(*node);
+  nodes_.erase(it);
+  refill(read_win_);
+  refill(write_win_);
+}
+
+std::optional<PageId> CountedLruQueue::lru_victim() const {
+  const Node* victim = list_.back();
+  if (victim == nullptr) return std::nullopt;
+  return victim->page;
+}
+
+bool CountedLruQueue::in_read_window(PageId page) const {
+  const Node* node = find(page);
+  HYMEM_CHECK(node != nullptr);
+  return node->in_read;
+}
+
+bool CountedLruQueue::in_write_window(PageId page) const {
+  const Node* node = find(page);
+  HYMEM_CHECK(node != nullptr);
+  return node->in_write;
+}
+
+std::uint64_t CountedLruQueue::read_counter(PageId page) const {
+  const Node* node = find(page);
+  HYMEM_CHECK(node != nullptr);
+  return node->read_ctr;
+}
+
+std::uint64_t CountedLruQueue::write_counter(PageId page) const {
+  const Node* node = find(page);
+  HYMEM_CHECK(node != nullptr);
+  return node->write_ctr;
+}
+
+void CountedLruQueue::check_invariants() const {
+  for (const Window* w : {&read_win_, &write_win_}) {
+    HYMEM_CHECK(w->count == std::min(w->target, list_.size()));
+    // The window must be exactly the first `count` nodes, ending at boundary.
+    std::size_t seen = 0;
+    bool prefix_over = false;
+    const Node* last_in = nullptr;
+    list_.for_each([&](const Node& n) {
+      const bool in = n.*(w->flag);
+      if (in) {
+        HYMEM_CHECK_MSG(!prefix_over, "window is not a prefix");
+        ++seen;
+        last_in = &n;
+      } else {
+        prefix_over = true;
+        HYMEM_CHECK_MSG(n.*(w->ctr) == 0, "counter not reset outside window");
+      }
+    });
+    HYMEM_CHECK(seen == w->count);
+    HYMEM_CHECK((w->count == 0) == (w->boundary == nullptr));
+    if (w->boundary != nullptr) HYMEM_CHECK(w->boundary == last_in);
+  }
+}
+
+}  // namespace hymem::core

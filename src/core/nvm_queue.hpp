@@ -1,0 +1,104 @@
+// The NVM-side queue of the proposed scheme: an *unmodified* LRU order plus
+// windowed read/write counters layered on top (Fig. 3 / Algorithm 1).
+//
+// Counters exist only for the top `read_perc` / `write_perc` fraction of
+// queue positions. A page falling past a window boundary has that counter
+// reset (Algorithm 1 lines 8-9); a hit on a page outside a window re-enters
+// it with counter = 1 (lines 13-14 / 19-20). This windowing is what filters
+// out (a) cold pages that merely sit in NVM long enough to accumulate
+// accesses and (b) pages that bounce around the queue — the two failure
+// modes Section IV identifies for naive whole-queue counters.
+//
+// Implementation note: both windows are maintained as strict prefixes of the
+// LRU list with O(1) incremental boundary updates per operation (no scans).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "util/intrusive_list.hpp"
+#include "util/types.hpp"
+
+namespace hymem::core {
+
+/// LRU queue with windowed access counters.
+class CountedLruQueue {
+ public:
+  /// `capacity` pages; window sizes are ceil(perc * capacity), clamped to
+  /// [0, capacity].
+  CountedLruQueue(std::size_t capacity, double read_perc, double write_perc);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return nodes_.size(); }
+  bool contains(PageId page) const { return nodes_.count(page) > 0; }
+  bool full() const { return size() >= capacity_; }
+
+  std::size_t read_window_target() const { return read_win_.target; }
+  std::size_t write_window_target() const { return write_win_.target; }
+
+  /// Records a hit per Algorithm 1: promotes the page to MRU, maintains both
+  /// windows (resetting counters that fall off), and updates the counter for
+  /// the access type (increment inside the window, restart at 1 from
+  /// outside). Returns the new value of that counter.
+  std::uint64_t record_hit(PageId page, AccessType type);
+
+  /// Inserts a new page at the MRU position (demotion from DRAM or fill).
+  void insert_front(PageId page);
+
+  /// Removes a page (migration to DRAM, or eviction).
+  void erase(PageId page);
+
+  /// The LRU-end page, i.e. the eviction victim. nullopt when empty.
+  std::optional<PageId> lru_victim() const;
+
+  // --- Introspection (tests, debugging) -------------------------------------
+  bool in_read_window(PageId page) const;
+  bool in_write_window(PageId page) const;
+  std::uint64_t read_counter(PageId page) const;
+  std::uint64_t write_counter(PageId page) const;
+  /// MRU-to-LRU traversal.
+  template <typename Fn>
+  void for_each_mru_to_lru(Fn&& fn) const {
+    list_.for_each([&fn](const Node& n) { fn(n.page); });
+  }
+  /// Validates all window invariants (prefix property, counts, resets);
+  /// throws on violation. O(n) — test use only.
+  void check_invariants() const;
+
+ private:
+  struct Node {
+    PageId page = kInvalidPage;
+    ListHook hook;
+    std::uint64_t read_ctr = 0;
+    std::uint64_t write_ctr = 0;
+    bool in_read = false;
+    bool in_write = false;
+  };
+
+  /// One window over the list prefix.
+  struct Window {
+    std::size_t target = 0;
+    std::size_t count = 0;
+    Node* boundary = nullptr;  // last node inside the window
+    bool Node::* flag;
+    std::uint64_t Node::* ctr;
+  };
+
+  Node* find(PageId page) const;
+  /// Handles window membership for a node about to move to the front.
+  void enter_front(Window& w, Node& node);
+  /// Re-fills a window after a removal shrank it below min(target, size).
+  void refill(Window& w);
+  /// Removes a node from a window it belongs to (before list erase).
+  void leave(Window& w, Node& node);
+
+  std::size_t capacity_;
+  IntrusiveList<Node, &Node::hook> list_;  // front = MRU
+  std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+  Window read_win_;
+  Window write_win_;
+};
+
+}  // namespace hymem::core

@@ -1,0 +1,55 @@
+#include "mem/bank_model.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hymem::mem {
+
+BankModel::BankModel(const BankModelConfig& config)
+    : config_(config), open_row_(config.banks, kNoRow) {
+  HYMEM_CHECK_MSG(config.banks > 0, "need at least one bank");
+  HYMEM_CHECK_MSG(config.row_bytes > 0, "row size must be positive");
+}
+
+std::uint32_t BankModel::bank_of(Addr addr) const {
+  // Row-interleaved bank mapping: consecutive rows land in different banks.
+  return static_cast<std::uint32_t>((addr / config_.row_bytes) % config_.banks);
+}
+
+std::uint64_t BankModel::row_of(Addr addr) const {
+  return addr / config_.row_bytes / config_.banks;
+}
+
+Nanoseconds BankModel::access(Addr addr, AccessType type) {
+  const std::uint32_t bank = bank_of(addr);
+  const std::uint64_t row = row_of(addr);
+  ++stats_.accesses;
+  Nanoseconds latency = config_.row_hit_ns;
+  if (open_row_[bank] == row) {
+    ++stats_.row_hits;
+  } else {
+    ++stats_.row_misses;
+    latency += config_.row_miss_penalty_ns;
+    open_row_[bank] = row;
+  }
+  if (type == AccessType::kWrite) latency += config_.write_recovery_ns;
+  stats_.total_latency_ns += latency;
+  return latency;
+}
+
+BankModelConfig BankModel::from_technology(const MemTechnology& tech,
+                                           double expected_row_hit_ratio) {
+  HYMEM_CHECK(expected_row_hit_ratio >= 0.0 && expected_row_hit_ratio < 1.0);
+  BankModelConfig config;
+  // Split the flat read latency into hit/miss components so that
+  //   hit*p + (hit+penalty)*(1-p) == flat_read.
+  config.row_hit_ns = tech.read_latency_ns * 0.4;
+  config.row_miss_penalty_ns =
+      (tech.read_latency_ns - config.row_hit_ns) /
+      std::max(0.05, 1.0 - expected_row_hit_ratio);
+  config.write_recovery_ns = tech.write_latency_ns - tech.read_latency_ns;
+  return config;
+}
+
+}  // namespace hymem::mem

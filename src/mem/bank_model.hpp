@@ -1,0 +1,77 @@
+// Bank/row-buffer refinement of the flat Table IV latencies.
+//
+// The paper (like CLOCK-DWF) models each memory as a single latency pair.
+// Real DDR/PCM devices are banked with row buffers: an access to the open
+// row is much faster than one that needs precharge+activate. This model
+// quantifies how far the flat-latency assumption is from a banked device
+// for our traces — used by the bench_ablation_rowbuffer harness — without
+// perturbing the calibrated Eq. 1/2 models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/technology.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace hymem::mem {
+
+/// Geometry and timing of a banked module.
+struct BankModelConfig {
+  std::uint32_t banks = 8;
+  std::uint64_t row_bytes = 8 * kKiB;  ///< Row-buffer size.
+  /// Latency of an access hitting the open row.
+  Nanoseconds row_hit_ns = 15;
+  /// Additional latency to close the old row and activate the new one.
+  Nanoseconds row_miss_penalty_ns = 35;
+  /// Extra write-recovery time on writes (NVM-style asymmetric writes).
+  Nanoseconds write_recovery_ns = 0;
+};
+
+/// Per-run counters of the bank model.
+struct BankStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  Nanoseconds total_latency_ns = 0;
+
+  double row_hit_ratio() const {
+    return accesses ? static_cast<double>(row_hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+  Nanoseconds average_latency_ns() const {
+    return accesses ? total_latency_ns / static_cast<double>(accesses) : 0.0;
+  }
+};
+
+/// Open-page banked memory: tracks one open row per bank.
+class BankModel {
+ public:
+  explicit BankModel(const BankModelConfig& config);
+
+  const BankModelConfig& config() const { return config_; }
+  const BankStats& stats() const { return stats_; }
+
+  /// Simulates one access; returns its latency.
+  Nanoseconds access(Addr addr, AccessType type);
+
+  /// Derives a banked config approximating a Table IV technology: the
+  /// weighted row-hit/row-miss mix reproduces the flat latency at the given
+  /// expected hit ratio.
+  static BankModelConfig from_technology(const MemTechnology& tech,
+                                         double expected_row_hit_ratio);
+
+ private:
+  std::uint32_t bank_of(Addr addr) const;
+  std::uint64_t row_of(Addr addr) const;
+
+  BankModelConfig config_;
+  std::vector<std::uint64_t> open_row_;  // per bank; kNoRow when closed
+  BankStats stats_;
+
+  static constexpr std::uint64_t kNoRow = ~0ULL;
+};
+
+}  // namespace hymem::mem

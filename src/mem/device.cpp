@@ -1,0 +1,41 @@
+#include "mem/device.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::mem {
+
+MemoryDevice::MemoryDevice(Tier tier, MemTechnology technology,
+                           std::uint64_t frames, std::uint64_t page_size)
+    : tier_(tier),
+      tech_(std::move(technology)),
+      frames_(frames),
+      page_size_(page_size) {
+  HYMEM_CHECK_MSG(page_size > 0, "page size must be positive");
+}
+
+Nanoseconds MemoryDevice::record_demand(AccessType type) {
+  const bool write = type == AccessType::kWrite;
+  if (write) {
+    ++counters_.demand_writes;
+  } else {
+    ++counters_.demand_reads;
+  }
+  return tech_.latency(write);
+}
+
+Nanoseconds MemoryDevice::record_transfer(AccessType type, std::uint64_t n) {
+  const bool write = type == AccessType::kWrite;
+  if (write) {
+    counters_.transfer_writes += n;
+  } else {
+    counters_.transfer_reads += n;
+  }
+  return tech_.latency(write) * static_cast<double>(n);
+}
+
+Nanojoules MemoryDevice::dynamic_energy_nj() const {
+  return static_cast<double>(counters_.total_reads()) * tech_.read_energy_nj +
+         static_cast<double>(counters_.total_writes()) * tech_.write_energy_nj;
+}
+
+}  // namespace hymem::mem

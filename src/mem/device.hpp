@@ -1,0 +1,65 @@
+// One memory module (DRAM or NVM) of the hybrid main memory: capacity,
+// access accounting, and energy bookkeeping. Frame allocation lives in
+// hymem::os; the device only validates counts and accumulates costs.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/technology.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace hymem::mem {
+
+/// Dynamic access counters for one device.
+struct DeviceCounters {
+  std::uint64_t demand_reads = 0;    ///< CPU-request reads served.
+  std::uint64_t demand_writes = 0;   ///< CPU-request writes served.
+  std::uint64_t transfer_reads = 0;  ///< Accesses due to page moves (source side).
+  std::uint64_t transfer_writes = 0; ///< Accesses due to page moves (destination side).
+
+  std::uint64_t total_reads() const { return demand_reads + transfer_reads; }
+  std::uint64_t total_writes() const { return demand_writes + transfer_writes; }
+  std::uint64_t total() const { return total_reads() + total_writes(); }
+};
+
+/// A memory module.
+class MemoryDevice {
+ public:
+  MemoryDevice(Tier tier, MemTechnology technology, std::uint64_t frames,
+               std::uint64_t page_size);
+
+  Tier tier() const { return tier_; }
+  const MemTechnology& technology() const { return tech_; }
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t page_size() const { return page_size_; }
+  std::uint64_t capacity_bytes() const { return frames_ * page_size_; }
+
+  const DeviceCounters& counters() const { return counters_; }
+
+  /// Records a CPU demand access; returns its latency.
+  Nanoseconds record_demand(AccessType type);
+
+  /// Records `n` device accesses on behalf of a page transfer (DMA read from
+  /// this device, or DMA write into it); returns the total latency.
+  Nanoseconds record_transfer(AccessType type, std::uint64_t n);
+
+  /// Dynamic energy consumed so far (nJ).
+  Nanojoules dynamic_energy_nj() const;
+
+  /// Zeroes the access counters (start of a measurement window).
+  void reset_counters() { counters_ = DeviceCounters{}; }
+
+  /// Static power of the module (W); energy over an interval is
+  /// static_power() * seconds.
+  Watts static_power() const { return tech_.static_power(capacity_bytes()); }
+
+ private:
+  Tier tier_;
+  MemTechnology tech_;
+  std::uint64_t frames_;
+  std::uint64_t page_size_;
+  DeviceCounters counters_;
+};
+
+}  // namespace hymem::mem

@@ -1,0 +1,52 @@
+#include "mem/dma.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hymem::mem {
+
+namespace {
+
+std::uint64_t checked_page_factor(std::uint64_t page_size,
+                                  std::uint64_t access_granularity) {
+  HYMEM_CHECK_MSG(access_granularity > 0 && page_size % access_granularity == 0,
+                  "page size must be a multiple of the access granularity");
+  const std::uint64_t factor = page_factor(page_size, access_granularity);
+  HYMEM_CHECK(factor > 0);
+  return factor;
+}
+
+}  // namespace
+
+DmaEngine::DmaEngine(std::uint64_t page_size, std::uint64_t access_granularity,
+                     TransferMode mode)
+    : page_factor_(checked_page_factor(page_size, access_granularity)),
+      mode_(mode) {}
+
+Nanoseconds DmaEngine::migrate(MemoryDevice& from, MemoryDevice& to) {
+  HYMEM_CHECK_MSG(from.tier() != to.tier(), "migration must cross modules");
+  if (from.tier() == Tier::kNvm) {
+    ++counters_.migrations_nvm_to_dram;
+  } else {
+    ++counters_.migrations_dram_to_nvm;
+  }
+  const Nanoseconds read_lat =
+      from.record_transfer(AccessType::kRead, page_factor_);
+  const Nanoseconds write_lat =
+      to.record_transfer(AccessType::kWrite, page_factor_);
+  // Integrated module: source reads stream into destination writes.
+  return mode_ == TransferMode::kDma ? read_lat + write_lat
+                                     : std::max(read_lat, write_lat);
+}
+
+Nanoseconds DmaEngine::fill_from_disk(MemoryDevice& to) {
+  if (to.tier() == Tier::kDram) {
+    ++counters_.disk_fills_to_dram;
+  } else {
+    ++counters_.disk_fills_to_nvm;
+  }
+  return to.record_transfer(AccessType::kWrite, page_factor_);
+}
+
+}  // namespace hymem::mem

@@ -1,0 +1,77 @@
+#include "mem/endurance.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hymem::mem {
+
+EnduranceTracker::EnduranceTracker(std::uint64_t frames, double endurance_cycles)
+    : endurance_cycles_(endurance_cycles), wear_(frames, 0) {
+  HYMEM_CHECK_MSG(frames > 0, "endurance tracker needs at least one frame");
+}
+
+void EnduranceTracker::record(FrameId frame, NvmWriteSource source,
+                              std::uint64_t count) {
+  HYMEM_CHECK_MSG(frame < wear_.size(), "frame out of range");
+  wear_[frame] += count;
+  total_ += count;
+  by_source_[static_cast<std::size_t>(source)] += count;
+}
+
+std::uint64_t EnduranceTracker::frame_wear(FrameId frame) const {
+  HYMEM_CHECK(frame < wear_.size());
+  return wear_[frame];
+}
+
+std::uint64_t EnduranceTracker::max_wear() const {
+  return *std::max_element(wear_.begin(), wear_.end());
+}
+
+double EnduranceTracker::mean_wear() const {
+  return static_cast<double>(total_) / static_cast<double>(wear_.size());
+}
+
+double EnduranceTracker::wear_imbalance() const {
+  const double mean = mean_wear();
+  return mean > 0.0 ? static_cast<double>(max_wear()) / mean : 1.0;
+}
+
+void EnduranceTracker::reset() {
+  std::fill(wear_.begin(), wear_.end(), 0);
+  total_ = 0;
+  by_source_[0] = by_source_[1] = by_source_[2] = 0;
+}
+
+double EnduranceTracker::lifetime_consumed() const {
+  if (endurance_cycles_ <= 0.0) return 0.0;
+  return static_cast<double>(max_wear()) / endurance_cycles_;
+}
+
+StartGapRemapper::StartGapRemapper(std::uint64_t frames,
+                                   std::uint64_t gap_interval)
+    : frames_(frames), gap_interval_(gap_interval), gap_(frames) {
+  HYMEM_CHECK(frames > 0);
+  HYMEM_CHECK_MSG(gap_interval > 0, "gap interval must be positive");
+}
+
+FrameId StartGapRemapper::physical(FrameId logical) const {
+  HYMEM_CHECK_MSG(logical < frames_, "logical frame out of range");
+  FrameId p = (logical + start_) % frames_;
+  if (p >= gap_) ++p;  // skip the gap slot
+  return p;
+}
+
+void StartGapRemapper::on_write() {
+  if (++writes_since_move_ < gap_interval_) return;
+  writes_since_move_ = 0;
+  ++rotations_;
+  if (gap_ == 0) {
+    gap_ = frames_;
+    start_ = (start_ + 1) % frames_;
+  } else {
+    --gap_;
+  }
+}
+
+}  // namespace hymem::mem

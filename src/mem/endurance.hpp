@@ -1,0 +1,82 @@
+// NVM endurance tracking.
+//
+// The paper's endurance analysis (Sections III.C, V.B / Figs. 2c and 4b)
+// counts *physical writes into NVM* broken down by source: demand write
+// hits, page-fault fills, and DRAM->NVM migrations. This tracker also keeps
+// per-frame wear so wear imbalance is visible, and offers an optional
+// Start-Gap remapper (Qureshi et al.) as a wear-leveling extension.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hymem::mem {
+
+/// Sources of physical writes into NVM (per Figs. 2c / 4b).
+enum class NvmWriteSource : std::uint8_t {
+  kDemandWrite = 0,  ///< CPU write request served by NVM.
+  kPageFault,        ///< Page filled from disk into NVM.
+  kMigration,        ///< Page migrated DRAM -> NVM.
+};
+
+/// Per-frame wear counters plus the per-source write breakdown.
+class EnduranceTracker {
+ public:
+  EnduranceTracker(std::uint64_t frames, double endurance_cycles);
+
+  /// Records `count` cell writes into `frame` attributed to `source`.
+  void record(FrameId frame, NvmWriteSource source, std::uint64_t count = 1);
+
+  std::uint64_t total_writes() const { return total_; }
+  std::uint64_t writes_from(NvmWriteSource source) const {
+    return by_source_[static_cast<std::size_t>(source)];
+  }
+
+  std::uint64_t frame_wear(FrameId frame) const;
+  std::uint64_t max_wear() const;
+  double mean_wear() const;
+  /// max/mean wear (1.0 = perfectly even; large = hot-spotted).
+  double wear_imbalance() const;
+
+  /// Fraction of per-cell endurance consumed by the most worn frame
+  /// (0 when endurance is unlimited).
+  double lifetime_consumed() const;
+
+  /// Zeroes all wear counters (start of a measurement window).
+  void reset();
+
+ private:
+  double endurance_cycles_;
+  std::vector<std::uint64_t> wear_;
+  std::uint64_t total_ = 0;
+  std::uint64_t by_source_[3] = {0, 0, 0};
+};
+
+/// Start-Gap wear leveling (Qureshi et al., MICRO'09): one spare frame and a
+/// gap that rotates through the address space every `gap_interval` writes,
+/// spreading writes across physical frames with O(1) remapping state.
+class StartGapRemapper {
+ public:
+  /// `frames` logical frames are mapped onto frames+1 physical slots.
+  StartGapRemapper(std::uint64_t frames, std::uint64_t gap_interval);
+
+  /// Physical slot currently backing `logical`.
+  FrameId physical(FrameId logical) const;
+
+  /// Notifies one page write; occasionally rotates the gap.
+  void on_write();
+
+  std::uint64_t rotations() const { return rotations_; }
+
+ private:
+  std::uint64_t frames_;
+  std::uint64_t gap_interval_;
+  std::uint64_t start_ = 0;  // rotation offset
+  std::uint64_t gap_;        // index of the empty physical slot
+  std::uint64_t writes_since_move_ = 0;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace hymem::mem

@@ -1,0 +1,57 @@
+#include "mem/technology.hpp"
+
+namespace hymem::mem {
+
+const MemTechnology& dram_table4() {
+  static const MemTechnology t{
+      .name = "DRAM",
+      .read_latency_ns = 50,
+      .write_latency_ns = 50,
+      .read_energy_nj = 3.2,
+      .write_energy_nj = 3.2,
+      .static_power_j_per_gb_s = 1.0,
+      .endurance_cycles = 0,  // unlimited for practical purposes
+  };
+  return t;
+}
+
+const MemTechnology& pcm_table4() {
+  static const MemTechnology t{
+      .name = "NVM(PCM)",
+      .read_latency_ns = 100,
+      .write_latency_ns = 350,
+      .read_energy_nj = 6.4,
+      .write_energy_nj = 32.0,
+      .static_power_j_per_gb_s = 0.1,
+      .endurance_cycles = 1e8,
+  };
+  return t;
+}
+
+const MemTechnology& stt_ram() {
+  static const MemTechnology t{
+      .name = "STT-RAM",
+      .read_latency_ns = 60,
+      .write_latency_ns = 150,
+      .read_energy_nj = 4.0,
+      .write_energy_nj = 10.0,
+      .static_power_j_per_gb_s = 0.15,
+      .endurance_cycles = 1e12,
+  };
+  return t;
+}
+
+const MemTechnology& rram() {
+  static const MemTechnology t{
+      .name = "RRAM",
+      .read_latency_ns = 80,
+      .write_latency_ns = 250,
+      .read_energy_nj = 5.0,
+      .write_energy_nj = 20.0,
+      .static_power_j_per_gb_s = 0.12,
+      .endurance_cycles = 1e10,
+  };
+  return t;
+}
+
+}  // namespace hymem::mem

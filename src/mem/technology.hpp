@@ -1,0 +1,56 @@
+// Memory technology parameter sets.
+//
+// Table IV of the paper (taken from the CLOCK-DWF study so comparisons are
+// fair) is the default: DRAM 50/50 ns and 3.2/3.2 nJ with 1 J/(GB*s) static
+// power; PCM 100/350 ns and 6.4/32 nJ with 0.1 J/(GB*s). Additional NVM
+// presets (STT-RAM, RRAM) are provided for sensitivity studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace hymem::mem {
+
+/// Timing/energy/endurance description of one memory technology.
+struct MemTechnology {
+  std::string name;
+  Nanoseconds read_latency_ns = 0;
+  Nanoseconds write_latency_ns = 0;
+  Nanojoules read_energy_nj = 0;
+  Nanojoules write_energy_nj = 0;
+  /// Static (leakage + refresh) power density in J per GB per second.
+  double static_power_j_per_gb_s = 0;
+  /// Write endurance in cycles per cell (0 = effectively unlimited).
+  double endurance_cycles = 0;
+
+  /// Static power in watts for a module of `bytes` capacity.
+  Watts static_power(std::uint64_t bytes) const {
+    return static_power_j_per_gb_s * (static_cast<double>(bytes) /
+                                      static_cast<double>(kGiB));
+  }
+
+  Nanoseconds latency(bool write) const {
+    return write ? write_latency_ns : read_latency_ns;
+  }
+  Nanojoules energy(bool write) const {
+    return write ? write_energy_nj : read_energy_nj;
+  }
+};
+
+/// Table IV DRAM row.
+const MemTechnology& dram_table4();
+/// Table IV NVM (PCM) row. Endurance set to 1e8 cycles (typical PCM).
+const MemTechnology& pcm_table4();
+/// STT-RAM preset (Kultursay et al., ISPASS'14 ballpark) for extensions.
+const MemTechnology& stt_ram();
+/// RRAM preset for extensions.
+const MemTechnology& rram();
+
+/// Secondary-storage model: Table II uses an HDD with 5 ms response time.
+struct DiskModel {
+  Nanoseconds access_latency_ns = ms_to_ns(5.0);
+};
+
+}  // namespace hymem::mem

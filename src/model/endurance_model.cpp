@@ -1,0 +1,29 @@
+#include "model/endurance_model.hpp"
+
+#include <limits>
+
+namespace hymem::model {
+
+NvmWriteBreakdown nvm_writes(const EventCounts& c) {
+  NvmWriteBreakdown b;
+  b.demand_writes = c.nvm_write_hits;
+  b.fault_fill_writes = c.fills_to_nvm * c.page_factor;
+  b.migration_writes = c.migrations_to_nvm * c.page_factor;
+  return b;
+}
+
+double lifetime_seconds(const NvmWriteBreakdown& writes,
+                        double endurance_cycles, std::uint64_t nvm_pages,
+                        std::uint64_t page_factor, double duration_s) {
+  if (writes.total() == 0 || endurance_cycles <= 0.0 || duration_s <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Total endurance budget in device-granularity writes, spread perfectly.
+  const double budget = endurance_cycles *
+                        static_cast<double>(nvm_pages) *
+                        static_cast<double>(page_factor);
+  const double rate = static_cast<double>(writes.total()) / duration_s;
+  return budget / rate;
+}
+
+}  // namespace hymem::model

@@ -1,0 +1,38 @@
+// Endurance model — the NVM physical-write accounting behind Figs. 2c / 4b.
+//
+// Physical writes into NVM come from three sources:
+//   * demand writes served by NVM (1 device write each),
+//   * page-fault fills into NVM (PageFactor writes each),
+//   * DRAM->NVM migrations (PageFactor writes each).
+// The figures normalize the total against an NVM-only main memory running
+// the same trace.
+#pragma once
+
+#include <cstdint>
+
+#include "model/events.hpp"
+
+namespace hymem::model {
+
+/// NVM write totals per source.
+struct NvmWriteBreakdown {
+  std::uint64_t demand_writes = 0;
+  std::uint64_t fault_fill_writes = 0;
+  std::uint64_t migration_writes = 0;
+
+  std::uint64_t total() const {
+    return demand_writes + fault_fill_writes + migration_writes;
+  }
+};
+
+/// Derives the breakdown from event counts.
+NvmWriteBreakdown nvm_writes(const EventCounts& counts);
+
+/// Estimated NVM lifetime in seconds under perfect wear leveling:
+/// endurance_cycles * cells / write_rate. `duration_s` is the trace's ROI
+/// wall time; returns +inf when there are no writes.
+double lifetime_seconds(const NvmWriteBreakdown& writes,
+                        double endurance_cycles, std::uint64_t nvm_pages,
+                        std::uint64_t page_factor, double duration_s);
+
+}  // namespace hymem::model

@@ -1,0 +1,31 @@
+#include "model/events.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::model {
+
+EventCounts EventCounts::from_vmm(const os::Vmm& vmm, std::uint64_t accesses) {
+  EventCounts c;
+  c.accesses = accesses;
+  const auto& dram = vmm.device(Tier::kDram).counters();
+  const auto& nvm = vmm.device(Tier::kNvm).counters();
+  c.dram_read_hits = dram.demand_reads;
+  c.dram_write_hits = dram.demand_writes;
+  c.nvm_read_hits = nvm.demand_reads;
+  c.nvm_write_hits = nvm.demand_writes;
+  c.page_faults = vmm.disk().page_ins();
+  const auto& dma = vmm.dma_counters();
+  c.fills_to_dram = dma.disk_fills_to_dram;
+  c.fills_to_nvm = dma.disk_fills_to_nvm;
+  c.migrations_to_dram = dma.migrations_nvm_to_dram;
+  c.migrations_to_nvm = dma.migrations_dram_to_nvm;
+  c.dirty_evictions = vmm.disk().page_outs();
+  c.page_factor = vmm.page_factor();
+  HYMEM_CHECK_MSG(c.fills_to_dram + c.fills_to_nvm == c.page_faults,
+                  "every fault must fill exactly one module");
+  HYMEM_CHECK_MSG(c.hits() + c.page_faults == c.accesses,
+                  "hits + faults must cover all accesses");
+  return c;
+}
+
+}  // namespace hymem::model

@@ -1,0 +1,35 @@
+// Shared parameter bundle of the analytic models: the Table IV technology
+// characteristics, the disk, the page factor and the module capacities.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/dma.hpp"
+#include "mem/technology.hpp"
+#include "os/vmm.hpp"
+
+namespace hymem::model {
+
+/// Everything Eqs. 1-3 need besides the event counts.
+struct ModelParams {
+  mem::MemTechnology dram = mem::dram_table4();
+  mem::MemTechnology nvm = mem::pcm_table4();
+  Nanoseconds disk_latency_ns = ms_to_ns(5.0);
+  std::uint64_t page_factor = 64;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t nvm_bytes = 0;
+  /// Migration latency composition: kDma sums source reads and destination
+  /// writes (Eq. 1 as published); kIntegrated overlaps them (max instead of
+  /// sum — the paper's "assembled in one module" design point).
+  mem::TransferMode transfer_mode = mem::TransferMode::kDma;
+
+  /// Combined static power of both modules (W).
+  Watts total_static_power() const {
+    return dram.static_power(dram_bytes) + nvm.static_power(nvm_bytes);
+  }
+
+  /// Snapshot from a configured VMM.
+  static ModelParams from_vmm(const os::Vmm& vmm);
+};
+
+}  // namespace hymem::model

@@ -1,0 +1,34 @@
+#include "model/power_model.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::model {
+
+PowerBreakdown appr(const EventCounts& c, const ModelParams& p,
+                    double duration_s) {
+  HYMEM_CHECK_MSG(c.accesses > 0, "APPR of an empty run");
+  HYMEM_CHECK_MSG(duration_s >= 0.0, "negative duration");
+  const auto n = static_cast<double>(c.accesses);
+  const auto pf = static_cast<double>(c.page_factor);
+  PowerBreakdown b;
+  b.hit_nj = (static_cast<double>(c.dram_read_hits) * p.dram.read_energy_nj +
+              static_cast<double>(c.dram_write_hits) * p.dram.write_energy_nj +
+              static_cast<double>(c.nvm_read_hits) * p.nvm.read_energy_nj +
+              static_cast<double>(c.nvm_write_hits) * p.nvm.write_energy_nj) /
+             n;
+  b.fault_fill_nj =
+      (static_cast<double>(c.fills_to_dram) * pf * p.dram.write_energy_nj +
+       static_cast<double>(c.fills_to_nvm) * pf * p.nvm.write_energy_nj) /
+      n;
+  b.migration_nj =
+      (static_cast<double>(c.migrations_to_dram) * pf *
+           (p.nvm.read_energy_nj + p.dram.write_energy_nj) +
+       static_cast<double>(c.migrations_to_nvm) * pf *
+           (p.dram.read_energy_nj + p.nvm.write_energy_nj)) /
+      n;
+  // Eq. 3: static energy prorated over all requests, in nJ.
+  b.static_nj = p.total_static_power() * duration_s * 1e9 / n;
+  return b;
+}
+
+}  // namespace hymem::model

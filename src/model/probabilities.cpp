@@ -1,0 +1,33 @@
+#include "model/probabilities.hpp"
+
+#include <cmath>
+
+namespace hymem::model {
+
+namespace {
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+}  // namespace
+
+bool TableIProbabilities::is_consistent(double eps) const {
+  return std::abs(hit_dram + hit_nvm + miss - 1.0) <= eps;
+}
+
+TableIProbabilities probabilities(const EventCounts& c) {
+  TableIProbabilities p;
+  p.hit_dram = ratio(c.dram_hits(), c.accesses);
+  p.hit_nvm = ratio(c.nvm_hits(), c.accesses);
+  p.miss = ratio(c.page_faults, c.accesses);
+  p.read_dram = ratio(c.dram_read_hits, c.dram_hits());
+  p.write_dram = ratio(c.dram_write_hits, c.dram_hits());
+  p.read_nvm = ratio(c.nvm_read_hits, c.nvm_hits());
+  p.write_nvm = ratio(c.nvm_write_hits, c.nvm_hits());
+  p.mig_to_dram = ratio(c.migrations_to_dram, c.accesses);
+  p.mig_to_nvm = ratio(c.migrations_to_nvm, c.accesses);
+  p.disk_to_dram = ratio(c.fills_to_dram, c.page_faults);
+  p.disk_to_nvm = ratio(c.fills_to_nvm, c.page_faults);
+  return p;
+}
+
+}  // namespace hymem::model

@@ -1,0 +1,32 @@
+// Table I of the paper: the probability parameters of the analytic models,
+// extracted from simulation event counts.
+#pragma once
+
+#include "model/events.hpp"
+
+namespace hymem::model {
+
+/// The Table I probabilities. All are fractions of total accesses except the
+/// conditional read/write splits, which are fractions of the module's hits,
+/// and the PDiskTo* terms, which are fractions of page faults.
+struct TableIProbabilities {
+  double hit_dram = 0;      ///< PHitDRAM
+  double hit_nvm = 0;       ///< PHitNVM
+  double read_dram = 0;     ///< PRDRAM  (given a DRAM hit)
+  double write_dram = 0;    ///< PWDRAM  (given a DRAM hit)
+  double read_nvm = 0;      ///< PRNVM   (given an NVM hit)
+  double write_nvm = 0;     ///< PWNVM   (given an NVM hit)
+  double miss = 0;          ///< PMiss
+  double mig_to_dram = 0;   ///< PMigD   (NVM->DRAM migrations per access)
+  double mig_to_nvm = 0;    ///< PMigN   (DRAM->NVM migrations per access)
+  double disk_to_dram = 0;  ///< PDiskToD (given a page fault)
+  double disk_to_nvm = 0;   ///< PDiskToN (given a page fault)
+
+  /// PHitDRAM + PHitNVM + PMiss == 1 (within tolerance).
+  bool is_consistent(double eps = 1e-9) const;
+};
+
+/// Extracts Table I from counts.
+TableIProbabilities probabilities(const EventCounts& counts);
+
+}  // namespace hymem::model

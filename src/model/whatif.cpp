@@ -1,0 +1,49 @@
+#include "model/whatif.hpp"
+
+namespace hymem::model {
+
+std::vector<WhatIfPoint> sweep(
+    const EventCounts& counts, const ModelParams& base, double duration_s,
+    const std::vector<double>& xs,
+    const std::function<ModelParams(ModelParams, double)>& mutate) {
+  std::vector<WhatIfPoint> points;
+  points.reserve(xs.size());
+  for (double x : xs) {
+    const ModelParams params = mutate(base, x);
+    points.push_back(WhatIfPoint{x, amat(counts, params),
+                                 appr(counts, params, duration_s)});
+  }
+  return points;
+}
+
+std::vector<WhatIfPoint> sweep_nvm_write_latency(
+    const EventCounts& counts, const ModelParams& base, double duration_s,
+    const std::vector<double>& latencies_ns) {
+  return sweep(counts, base, duration_s, latencies_ns,
+               [](ModelParams p, double x) {
+                 p.nvm.write_latency_ns = x;
+                 return p;
+               });
+}
+
+std::vector<WhatIfPoint> sweep_nvm_write_energy(
+    const EventCounts& counts, const ModelParams& base, double duration_s,
+    const std::vector<double>& energies_nj) {
+  return sweep(counts, base, duration_s, energies_nj,
+               [](ModelParams p, double x) {
+                 p.nvm.write_energy_nj = x;
+                 return p;
+               });
+}
+
+std::vector<WhatIfPoint> sweep_disk_latency(
+    const EventCounts& counts, const ModelParams& base, double duration_s,
+    const std::vector<double>& latencies_ns) {
+  return sweep(counts, base, duration_s, latencies_ns,
+               [](ModelParams p, double x) {
+                 p.disk_latency_ns = x;
+                 return p;
+               });
+}
+
+}  // namespace hymem::model

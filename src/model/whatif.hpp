@@ -1,0 +1,46 @@
+// What-if analysis over the analytic models.
+//
+// Because Eq. 1/2 are pure functions of (event counts, parameters), a run's
+// counts can be re-costed under different technology assumptions without
+// re-simulating — the standard way to ask "would the conclusion change with
+// a faster NVM / bigger pages / an integrated module?" These helpers embody
+// that pattern (used by the sensitivity benches and available to users).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/perf_model.hpp"
+#include "model/power_model.hpp"
+
+namespace hymem::model {
+
+/// One re-costed point of a sweep.
+struct WhatIfPoint {
+  double x = 0;  ///< The swept parameter value.
+  AmatBreakdown amat;
+  PowerBreakdown power;
+};
+
+/// Re-costs fixed event counts across a parameter sweep. `mutate` receives a
+/// copy of the base params and the sweep value, and returns the adjusted
+/// params. `duration_s` feeds the Eq. 3 static term.
+std::vector<WhatIfPoint> sweep(
+    const EventCounts& counts, const ModelParams& base, double duration_s,
+    const std::vector<double>& xs,
+    const std::function<ModelParams(ModelParams, double)>& mutate);
+
+/// Convenience sweeps for the common axes.
+std::vector<WhatIfPoint> sweep_nvm_write_latency(
+    const EventCounts& counts, const ModelParams& base, double duration_s,
+    const std::vector<double>& latencies_ns);
+
+std::vector<WhatIfPoint> sweep_nvm_write_energy(
+    const EventCounts& counts, const ModelParams& base, double duration_s,
+    const std::vector<double>& energies_nj);
+
+std::vector<WhatIfPoint> sweep_disk_latency(
+    const EventCounts& counts, const ModelParams& base, double duration_s,
+    const std::vector<double>& latencies_ns);
+
+}  // namespace hymem::model

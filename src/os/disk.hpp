@@ -1,0 +1,44 @@
+// Secondary storage model. Table II: HDD, 5 ms response time. Page-in delay
+// is the only disk latency visible in AMAT (Eq. 1, third term); page-out is
+// asynchronous and therefore only counted, never charged.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/technology.hpp"
+#include "util/units.hpp"
+
+namespace hymem::os {
+
+/// Counts page traffic to/from the backing store.
+class Disk {
+ public:
+  explicit Disk(mem::DiskModel model = {}) : model_(model) {}
+
+  Nanoseconds access_latency_ns() const { return model_.access_latency_ns; }
+
+  /// Synchronous page-in; returns the visible latency.
+  Nanoseconds read_page() {
+    ++page_ins_;
+    return model_.access_latency_ns;
+  }
+
+  /// Asynchronous page-out (dirty eviction); no visible latency.
+  void write_page() { ++page_outs_; }
+
+  std::uint64_t page_ins() const { return page_ins_; }
+  std::uint64_t page_outs() const { return page_outs_; }
+
+  /// Zeroes the traffic counters (start of a measurement window).
+  void reset_counters() {
+    page_ins_ = 0;
+    page_outs_ = 0;
+  }
+
+ private:
+  mem::DiskModel model_;
+  std::uint64_t page_ins_ = 0;
+  std::uint64_t page_outs_ = 0;
+};
+
+}  // namespace hymem::os

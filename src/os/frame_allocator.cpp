@@ -1,0 +1,29 @@
+#include "os/frame_allocator.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::os {
+
+FrameAllocator::FrameAllocator(std::uint64_t capacity)
+    : capacity_(capacity), in_use_(capacity, false) {
+  free_.reserve(capacity);
+  // Hand out low frame numbers first.
+  for (std::uint64_t f = capacity; f > 0; --f) free_.push_back(f - 1);
+}
+
+std::optional<FrameId> FrameAllocator::allocate() {
+  if (free_.empty()) return std::nullopt;
+  const FrameId frame = free_.back();
+  free_.pop_back();
+  in_use_[frame] = true;
+  return frame;
+}
+
+void FrameAllocator::release(FrameId frame) {
+  HYMEM_CHECK_MSG(frame < capacity_, "frame out of range");
+  HYMEM_CHECK_MSG(in_use_[frame], "double free of frame");
+  in_use_[frame] = false;
+  free_.push_back(frame);
+}
+
+}  // namespace hymem::os

@@ -1,0 +1,34 @@
+// Free-list physical frame allocator for one memory module.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hymem::os {
+
+/// LIFO free-list allocator over frames [0, capacity).
+class FrameAllocator {
+ public:
+  explicit FrameAllocator(std::uint64_t capacity);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t free_count() const { return free_.size(); }
+  std::uint64_t allocated() const { return capacity_ - free_.size(); }
+  bool full() const { return free_.empty(); }
+
+  /// Allocates a frame, or nullopt when exhausted.
+  std::optional<FrameId> allocate();
+
+  /// Returns a frame to the pool. Double-free is detected and throws.
+  void release(FrameId frame);
+
+ private:
+  std::uint64_t capacity_;
+  std::vector<FrameId> free_;
+  std::vector<bool> in_use_;
+};
+
+}  // namespace hymem::os

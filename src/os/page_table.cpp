@@ -1,0 +1,47 @@
+#include "os/page_table.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::os {
+
+std::optional<PageTableEntry> PageTable::lookup(PageId page) const {
+  const auto it = entries_.find(page);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+PageTableEntry* PageTable::find(PageId page) {
+  const auto it = entries_.find(page);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const PageTableEntry* PageTable::find(PageId page) const {
+  return const_cast<PageTable*>(this)->find(page);
+}
+
+void PageTable::map(PageId page, Tier tier, FrameId frame, bool dirty) {
+  const auto [it, inserted] =
+      entries_.try_emplace(page, PageTableEntry{tier, frame, dirty});
+  HYMEM_CHECK_MSG(inserted, "page already resident");
+  (tier == Tier::kDram ? dram_count_ : nvm_count_) += 1;
+}
+
+PageTableEntry PageTable::unmap(PageId page) {
+  const auto it = entries_.find(page);
+  HYMEM_CHECK_MSG(it != entries_.end(), "unmap of non-resident page");
+  const PageTableEntry entry = it->second;
+  entries_.erase(it);
+  (entry.tier == Tier::kDram ? dram_count_ : nvm_count_) -= 1;
+  return entry;
+}
+
+void PageTable::remap(PageId page, Tier tier, FrameId frame) {
+  const auto it = entries_.find(page);
+  HYMEM_CHECK_MSG(it != entries_.end(), "remap of non-resident page");
+  (it->second.tier == Tier::kDram ? dram_count_ : nvm_count_) -= 1;
+  it->second.tier = tier;
+  it->second.frame = frame;
+  (tier == Tier::kDram ? dram_count_ : nvm_count_) += 1;
+}
+
+}  // namespace hymem::os

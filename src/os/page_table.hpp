@@ -1,0 +1,55 @@
+// Page table: virtual page -> {module, frame, dirty}.
+//
+// This is the OS-level structure the paper's scheme manipulates: migrations
+// are page-table remappings plus DMA copies, invisible to the application.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace hymem::os {
+
+/// One mapping. Pages not present in the table live on disk.
+struct PageTableEntry {
+  Tier tier = Tier::kDram;
+  FrameId frame = kInvalidFrame;
+  bool dirty = false;
+};
+
+/// Hash-map page table. Only *resident* pages have entries; a miss means the
+/// page is on disk (or never touched — the distinction is the caller's).
+class PageTable {
+ public:
+  /// Entry for a resident page, or nullopt.
+  std::optional<PageTableEntry> lookup(PageId page) const;
+
+  /// Pointer access for in-place updates; nullptr when not resident.
+  PageTableEntry* find(PageId page);
+  const PageTableEntry* find(PageId page) const;
+
+  /// Adds a mapping; the page must not be resident.
+  void map(PageId page, Tier tier, FrameId frame, bool dirty = false);
+
+  /// Removes a mapping; the page must be resident. Returns the old entry.
+  PageTableEntry unmap(PageId page);
+
+  /// Re-points a resident page at a new tier/frame (migration), keeping the
+  /// dirty bit.
+  void remap(PageId page, Tier tier, FrameId frame);
+
+  bool is_resident(PageId page) const { return entries_.count(page) > 0; }
+  std::uint64_t resident_pages() const { return entries_.size(); }
+  std::uint64_t resident_in(Tier tier) const {
+    return tier == Tier::kDram ? dram_count_ : nvm_count_;
+  }
+
+ private:
+  std::unordered_map<PageId, PageTableEntry> entries_;
+  std::uint64_t dram_count_ = 0;
+  std::uint64_t nvm_count_ = 0;
+};
+
+}  // namespace hymem::os

@@ -1,0 +1,66 @@
+#include "os/tlb.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::os {
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  HYMEM_CHECK_MSG(config.valid(), "invalid TLB geometry");
+  entries_.resize(config.entries);
+}
+
+std::uint32_t Tlb::set_of(PageId page) const {
+  return static_cast<std::uint32_t>(page & (config_.sets() - 1));
+}
+
+Tlb::Entry* Tlb::find(PageId page) {
+  Entry* base = &entries_[set_of(page) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].page == page) return &base[w];
+  }
+  return nullptr;
+}
+
+bool Tlb::lookup(PageId page) {
+  ++stats_.lookups;
+  if (Entry* entry = find(page)) {
+    ++stats_.hits;
+    entry->lru = ++clock_;
+    return true;
+  }
+  ++stats_.misses;
+  Entry* base = &entries_[set_of(page) * config_.associativity];
+  Entry* victim = &base[0];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  victim->page = page;
+  victim->valid = true;
+  victim->lru = ++clock_;
+  return false;
+}
+
+bool Tlb::shootdown(PageId page) {
+  if (Entry* entry = find(page)) {
+    entry->valid = false;
+    ++stats_.shootdowns;
+    return true;
+  }
+  return false;
+}
+
+void Tlb::flush() {
+  for (Entry& e : entries_) e.valid = false;
+}
+
+std::uint64_t Tlb::valid_entries() const {
+  std::uint64_t n = 0;
+  for (const Entry& e : entries_) n += e.valid;
+  return n;
+}
+
+}  // namespace hymem::os

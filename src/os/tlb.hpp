@@ -1,0 +1,82 @@
+// Translation lookaside buffer model.
+//
+// The paper's scheme lives in the OS paging path: every migration is a
+// page-table remap, and real systems pay a TLB shootdown for each. This
+// model quantifies that hidden cost: a set-associative TLB with LRU,
+// invalidate-on-remap, and hit/miss/shootdown counters. The analytic models
+// stay faithful to the paper (which ignores TLB effects); the TLB is an
+// optional observer for sensitivity analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hymem::os {
+
+/// TLB geometry; defaults resemble a typical L1 DTLB.
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t associativity = 4;
+
+  std::uint32_t sets() const { return entries / associativity; }
+  bool valid() const {
+    return entries > 0 && associativity > 0 &&
+           entries % associativity == 0 &&
+           (sets() & (sets() - 1)) == 0;
+  }
+};
+
+/// Hit/miss/shootdown counters.
+struct TlbStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t shootdowns = 0;  ///< Invalidations due to remap/unmap.
+
+  double hit_ratio() const {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+/// Set-associative TLB over virtual page numbers with per-set LRU.
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config = {});
+
+  const TlbConfig& config() const { return config_; }
+  const TlbStats& stats() const { return stats_; }
+
+  /// Translates a page: records hit or miss (a miss installs the entry,
+  /// evicting the set's LRU victim). Returns true on a hit.
+  bool lookup(PageId page);
+
+  /// Invalidates a page's entry if present (migration/eviction shootdown).
+  /// Returns true if an entry was dropped.
+  bool shootdown(PageId page);
+
+  /// Drops everything (context switch).
+  void flush();
+
+  /// Number of currently valid entries.
+  std::uint64_t valid_entries() const;
+
+ private:
+  struct Entry {
+    PageId page = kInvalidPage;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  std::uint32_t set_of(PageId page) const;
+  Entry* find(PageId page);
+
+  TlbConfig config_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace hymem::os

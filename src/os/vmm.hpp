@@ -1,0 +1,122 @@
+// Virtual memory manager: the mechanism layer all hybrid-memory policies
+// share. Policies *decide* (where to place a fault, what to migrate, what to
+// evict); the VMM *executes* — page-table updates, frame management, DMA
+// copies, disk traffic, device energy and NVM endurance accounting — so that
+// every policy is costed identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mem/device.hpp"
+#include "mem/dma.hpp"
+#include "mem/endurance.hpp"
+#include "mem/technology.hpp"
+#include "os/disk.hpp"
+#include "os/frame_allocator.hpp"
+#include "os/page_table.hpp"
+#include "util/units.hpp"
+
+namespace hymem::os {
+
+/// Hybrid main-memory configuration.
+struct VmmConfig {
+  std::uint64_t dram_frames = 0;
+  std::uint64_t nvm_frames = 0;
+  std::uint64_t page_size = kDefaultPageSize;
+  /// Device access width (the LLC line size); PageFactor =
+  /// page_size / access_granularity.
+  std::uint64_t access_granularity = 64;
+  mem::MemTechnology dram = mem::dram_table4();
+  mem::MemTechnology nvm = mem::pcm_table4();
+  mem::DiskModel disk{};
+  /// Page transfers: separate modules over DMA (the paper's assumption) or
+  /// an integrated module with pipelined copies (its mentioned alternative).
+  mem::TransferMode transfer_mode = mem::TransferMode::kDma;
+  /// Optional Start-Gap wear leveling on the NVM module (extension).
+  bool wear_leveling = false;
+  std::uint64_t wear_gap_interval = 64;
+
+  std::uint64_t total_frames() const { return dram_frames + nvm_frames; }
+};
+
+/// The mechanism layer. All operations return the latency they contribute to
+/// the request being served (0 for asynchronous work, per the paper's model).
+class Vmm {
+ public:
+  explicit Vmm(const VmmConfig& config);
+
+  const VmmConfig& config() const { return config_; }
+
+  // --- Queries -------------------------------------------------------------
+  bool is_resident(PageId page) const { return table_.is_resident(page); }
+  /// Tier holding the page, or nullopt when it is on disk.
+  std::optional<Tier> tier_of(PageId page) const;
+  bool has_free_frame(Tier tier) const;
+  std::uint64_t frames(Tier tier) const;
+  std::uint64_t resident(Tier tier) const { return table_.resident_in(tier); }
+
+  // --- Operations ------------------------------------------------------------
+  /// Serves a demand hit; the page must be resident. Returns the device
+  /// latency. Marks the page dirty on writes and records NVM wear.
+  Nanoseconds access(PageId page, AccessType type);
+
+  /// Brings a page in from disk into `tier` (a free frame must exist).
+  /// Returns the visible latency: the disk delay only — the paper overlaps
+  /// the memory fill writes with the disk transfer via DMA (Section II.A),
+  /// though their energy is still charged (Eq. 2).
+  Nanoseconds fault_in(PageId page, Tier tier);
+
+  /// Migrates a resident page to the other module (a free frame must exist
+  /// there). Returns the DMA latency: PageFactor * (read src + write dst).
+  Nanoseconds migrate(PageId page, Tier destination);
+
+  /// Exchanges a page in one module with a page in the other when neither
+  /// module has a free frame (the common case once memory fills up: e.g. a
+  /// promotion to a full DRAM paired with the demotion it forces). Charges
+  /// one migration in each direction; returns the combined DMA latency.
+  Nanoseconds swap(PageId a, PageId b);
+
+  /// Marks a resident page dirty without charging a demand access. Used for
+  /// write page faults: the written data arrives with the disk fill, so no
+  /// separate memory access is billed, but the page now differs from disk.
+  void touch_dirty(PageId page);
+
+  /// Evicts a resident page to disk. Dirty pages count a disk page-out.
+  /// Asynchronous: contributes no latency (Eq. 1 charges only TDisk on the
+  /// fill side).
+  void evict(PageId page);
+
+  /// Zeroes every accounting counter (device accesses, DMA transfers, disk
+  /// traffic, NVM wear) without touching residency. Called at the end of a
+  /// warmup pass so measurements reflect the steady state — the paper's
+  /// setup explicitly minimizes cold-memory effects (Section V.A).
+  void reset_accounting();
+
+  // --- Accounting views ------------------------------------------------------
+  const mem::MemoryDevice& device(Tier tier) const;
+  const mem::DmaCounters& dma_counters() const { return dma_.counters(); }
+  std::uint64_t page_factor() const { return dma_.accesses_per_page(); }
+  const Disk& disk() const { return disk_; }
+  const mem::EnduranceTracker& nvm_endurance() const { return endurance_; }
+  const PageTable& page_table() const { return table_; }
+
+ private:
+  mem::MemoryDevice& device_mut(Tier tier);
+  FrameAllocator& allocator(Tier tier);
+  void record_nvm_page_write(FrameId frame, mem::NvmWriteSource source);
+
+  VmmConfig config_;
+  PageTable table_;
+  mem::MemoryDevice dram_;
+  mem::MemoryDevice nvm_;
+  FrameAllocator dram_alloc_;
+  FrameAllocator nvm_alloc_;
+  mem::DmaEngine dma_;
+  Disk disk_;
+  mem::EnduranceTracker endurance_;
+  std::unique_ptr<mem::StartGapRemapper> remapper_;
+};
+
+}  // namespace hymem::os

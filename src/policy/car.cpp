@@ -1,0 +1,114 @@
+#include "policy/car.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+CarPolicy::CarPolicy(std::size_t capacity) : capacity_(capacity) {
+  HYMEM_CHECK_MSG(capacity > 0, "CAR capacity must be positive");
+}
+
+void CarPolicy::on_hit(PageId page, AccessType /*type*/) {
+  const auto it = resident_.find(page);
+  HYMEM_CHECK_MSG(it != resident_.end(), "hit on untracked page");
+  it->second.it->ref = true;
+}
+
+void CarPolicy::ghost_insert(Ghost& list,
+                             std::unordered_map<PageId, Ghost::iterator>& map,
+                             PageId page, std::size_t cap) {
+  list.push_front(page);
+  map.emplace(page, list.begin());
+  while (list.size() > cap) {
+    map.erase(list.back());
+    list.pop_back();
+  }
+}
+
+void CarPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full CAR");
+  const auto g1 = b1_index_.find(page);
+  const auto g2 = b2_index_.find(page);
+  const auto c = static_cast<double>(capacity_);
+  if (g1 != b1_index_.end()) {
+    // Recency ghost hit: grow T1's share.
+    const double delta = std::max(
+        1.0, static_cast<double>(b2_.size()) / static_cast<double>(b1_.size()));
+    p_ = std::min(p_ + delta, c);
+    b1_.erase(g1->second);
+    b1_index_.erase(g1);
+    t2_.push_back(Entry{page, false});
+    resident_.emplace(page, Where{true, std::prev(t2_.end())});
+  } else if (g2 != b2_index_.end()) {
+    // Frequency ghost hit: shrink T1's share.
+    const double delta = std::max(
+        1.0, static_cast<double>(b1_.size()) / static_cast<double>(b2_.size()));
+    p_ = std::max(p_ - delta, 0.0);
+    b2_.erase(g2->second);
+    b2_index_.erase(g2);
+    t2_.push_back(Entry{page, false});
+    resident_.emplace(page, Where{true, std::prev(t2_.end())});
+  } else {
+    // Brand-new page: history maintenance, then tail of T1. Strict
+    // inequalities: at the steady state |T1|+|B1| == c the incoming page
+    // replaces the T1 page that just became a B1 ghost, so nothing must be
+    // discarded (the FAST'04 pseudocode checks == c *before* replace()).
+    if (t1_.size() + b1_.size() > capacity_ && !b1_.empty()) {
+      b1_index_.erase(b1_.back());
+      b1_.pop_back();
+    } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >
+                   2 * capacity_ &&
+               !b2_.empty()) {
+      b2_index_.erase(b2_.back());
+      b2_.pop_back();
+    }
+    t1_.push_back(Entry{page, false});
+    resident_.emplace(page, Where{false, std::prev(t1_.end())});
+  }
+}
+
+std::optional<PageId> CarPolicy::select_victim() {
+  if (size() == 0) return std::nullopt;
+  // The replace() loop of the CAR paper: referenced heads get second
+  // chances (T1 heads additionally graduate to T2).
+  std::size_t guard = 2 * (t1_.size() + t2_.size()) + 2;
+  while (guard-- > 0) {
+    const bool from_t1 =
+        !t1_.empty() &&
+        (static_cast<double>(t1_.size()) >= std::max(1.0, p_) || t2_.empty());
+    if (from_t1) {
+      Entry head = t1_.front();
+      if (!head.ref) return head.page;
+      t1_.pop_front();
+      t2_.push_back(Entry{head.page, false});
+      resident_[head.page] = Where{true, std::prev(t2_.end())};
+    } else {
+      HYMEM_CHECK(!t2_.empty());
+      Entry head = t2_.front();
+      if (!head.ref) return head.page;
+      t2_.pop_front();
+      t2_.push_back(Entry{head.page, false});
+      resident_[head.page] = Where{true, std::prev(t2_.end())};
+    }
+  }
+  HYMEM_CHECK_MSG(false, "CAR replace loop failed to find a victim");
+  return std::nullopt;
+}
+
+void CarPolicy::erase(PageId page) {
+  const auto it = resident_.find(page);
+  HYMEM_CHECK_MSG(it != resident_.end(), "erase of untracked page");
+  if (it->second.in_t2) {
+    t2_.erase(it->second.it);
+    ghost_insert(b2_, b2_index_, page, capacity_);
+  } else {
+    t1_.erase(it->second.it);
+    ghost_insert(b1_, b1_index_, page, capacity_);
+  }
+  resident_.erase(it);
+}
+
+}  // namespace hymem::policy

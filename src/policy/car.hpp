@@ -1,0 +1,66 @@
+// CAR — Clock with Adaptive Replacement (Bansal & Modha, FAST'04).
+// Mentioned by the paper as one of the algorithms CLOCK-DWF beats; included
+// so the baseline sweep covers the recency/frequency-adaptive family.
+//
+// Two clocks: T1 (recency) and T2 (frequency), plus ghost histories B1/B2.
+// The target size `p` of T1 adapts: a B1 ghost hit grows p, a B2 ghost hit
+// shrinks it.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// CAR replacement.
+class CarPolicy final : public ReplacementPolicy {
+ public:
+  explicit CarPolicy(std::size_t capacity);
+
+  std::string_view name() const override { return "car"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return t1_.size() + t2_.size(); }
+  bool contains(PageId page) const override { return resident_.count(page) > 0; }
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+  /// Adaptive T1 target (for tests).
+  double target_p() const { return p_; }
+  std::size_t t1_size() const { return t1_.size(); }
+  std::size_t t2_size() const { return t2_.size(); }
+  std::size_t ghost_recency_size() const { return b1_.size(); }
+  std::size_t ghost_frequency_size() const { return b2_.size(); }
+
+ private:
+  struct Entry {
+    PageId page;
+    bool ref = false;
+  };
+  using Clock = std::list<Entry>;   // front = hand position, back = tail
+  using Ghost = std::list<PageId>;  // front = MRU, back = LRU
+
+  struct Where {
+    bool in_t2 = false;
+    Clock::iterator it;
+  };
+
+  void ghost_insert(Ghost& list, std::unordered_map<PageId, Ghost::iterator>& map,
+                    PageId page, std::size_t cap);
+
+  std::size_t capacity_;
+  double p_ = 0.0;
+  Clock t1_;
+  Clock t2_;
+  Ghost b1_;
+  Ghost b2_;
+  std::unordered_map<PageId, Where> resident_;
+  std::unordered_map<PageId, Ghost::iterator> b1_index_;
+  std::unordered_map<PageId, Ghost::iterator> b2_index_;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,69 @@
+#include "policy/clock.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+ClockPolicy::ClockPolicy(std::size_t capacity) : capacity_(capacity) {
+  HYMEM_CHECK_MSG(capacity > 0, "CLOCK capacity must be positive");
+}
+
+void ClockPolicy::advance_hand() {
+  HYMEM_CHECK(!ring_.empty());
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+  ++hand_;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+}
+
+void ClockPolicy::on_hit(PageId page, AccessType /*type*/) {
+  const auto it = index_.find(page);
+  HYMEM_CHECK_MSG(it != index_.end(), "hit on untracked page");
+  it->second->ref = true;
+}
+
+void ClockPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full CLOCK");
+  // New pages enter just behind the hand (i.e. they are visited last).
+  Ring::iterator pos = hand_ == ring_.end() ? ring_.end() : hand_;
+  const auto it = ring_.insert(pos, Entry{page, false});
+  index_.emplace(page, it);
+  if (hand_ == ring_.end()) hand_ = it;
+}
+
+std::optional<PageId> ClockPolicy::select_victim() {
+  if (ring_.empty()) return std::nullopt;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+  // Sweep: give referenced pages a second chance. Terminates within two
+  // laps because every visited page's bit is cleared.
+  for (std::size_t steps = 0; steps < 2 * ring_.size() + 1; ++steps) {
+    if (hand_->ref) {
+      hand_->ref = false;
+      advance_hand();
+    } else {
+      return hand_->page;
+    }
+  }
+  HYMEM_CHECK_MSG(false, "CLOCK sweep failed to find a victim");
+  return std::nullopt;
+}
+
+void ClockPolicy::erase(PageId page) {
+  const auto it = index_.find(page);
+  HYMEM_CHECK_MSG(it != index_.end(), "erase of untracked page");
+  if (hand_ == it->second) {
+    ++hand_;
+    if (hand_ == ring_.end() && ring_.size() > 1) hand_ = ring_.begin();
+  }
+  ring_.erase(it->second);
+  index_.erase(it);
+  if (ring_.empty()) hand_ = ring_.end();
+}
+
+bool ClockPolicy::ref_bit(PageId page) const {
+  const auto it = index_.find(page);
+  HYMEM_CHECK_MSG(it != index_.end(), "ref_bit of untracked page");
+  return it->second->ref;
+}
+
+}  // namespace hymem::policy

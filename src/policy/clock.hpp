@@ -1,0 +1,45 @@
+// CLOCK (second-chance) replacement: the approximation of LRU used by real
+// kernels and the base algorithm of CLOCK-DWF's NVM module.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// Circular buffer of pages with reference bits and a sweeping hand.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  explicit ClockPolicy(std::size_t capacity);
+
+  std::string_view name() const override { return "clock"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return index_.size(); }
+  bool contains(PageId page) const override { return index_.count(page) > 0; }
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+  /// Reference bit of a tracked page (for tests).
+  bool ref_bit(PageId page) const;
+
+ private:
+  struct Entry {
+    PageId page;
+    bool ref;
+  };
+  using Ring = std::list<Entry>;
+
+  void advance_hand();
+
+  std::size_t capacity_;
+  Ring ring_;           // circular order; hand_ sweeps towards end then wraps
+  Ring::iterator hand_ = ring_.end();
+  std::unordered_map<PageId, Ring::iterator> index_;
+};
+
+}  // namespace hymem::policy

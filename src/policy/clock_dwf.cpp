@@ -1,0 +1,87 @@
+#include "policy/clock_dwf.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+ClockDwfPolicy::ClockDwfPolicy(os::Vmm& vmm)
+    : HybridPolicy(vmm),
+      dram_(static_cast<std::size_t>(vmm.frames(Tier::kDram))),
+      nvm_(static_cast<std::size_t>(vmm.frames(Tier::kNvm))) {
+  HYMEM_CHECK_MSG(vmm.frames(Tier::kDram) > 0 && vmm.frames(Tier::kNvm) > 0,
+                  "CLOCK-DWF needs both modules populated");
+}
+
+void ClockDwfPolicy::evict_nvm_victim() {
+  const auto victim = nvm_.select_victim();
+  HYMEM_CHECK_MSG(victim.has_value(), "NVM clock empty while full");
+  nvm_.erase(*victim);
+  vmm_.evict(*victim);
+}
+
+Nanoseconds ClockDwfPolicy::demote_dram_victim() {
+  const auto victim = dram_.select_victim();
+  HYMEM_CHECK_MSG(victim.has_value(), "DRAM clock empty while full");
+  if (!vmm_.has_free_frame(Tier::kNvm)) evict_nvm_victim();
+  dram_.erase(*victim);
+  const Nanoseconds latency = vmm_.migrate(*victim, Tier::kNvm);
+  nvm_.insert(*victim, AccessType::kRead);
+  return latency;
+}
+
+Nanoseconds ClockDwfPolicy::on_access(PageId page, AccessType type) {
+  const auto tier = vmm_.tier_of(page);
+  if (tier == Tier::kDram) {
+    // Write-history-aware: only writes refresh the DRAM reference bit, so
+    // read-dominant pages age out towards NVM.
+    if (type == AccessType::kWrite) dram_.on_hit(page, type);
+    return vmm_.access(page, type);
+  }
+  if (tier == Tier::kNvm) {
+    if (type == AccessType::kRead) {
+      nvm_.on_hit(page, type);
+      return vmm_.access(page, type);
+    }
+    // Write to an NVM page: forced promotion — NVM never serves writes.
+    Nanoseconds latency = 0;
+    if (vmm_.has_free_frame(Tier::kDram)) {
+      nvm_.erase(page);
+      latency += vmm_.migrate(page, Tier::kDram);
+    } else {
+      const auto victim = dram_.select_victim();
+      HYMEM_CHECK_MSG(victim.has_value(), "DRAM clock empty while full");
+      // Full memory: the promotion drags the DRAM victim down with it
+      // (one migration each way — the non-beneficial pattern the paper
+      // dissects in Section III).
+      dram_.erase(*victim);
+      nvm_.erase(page);
+      latency += vmm_.swap(page, *victim);
+      nvm_.insert(*victim, AccessType::kRead);
+    }
+    dram_.insert(page, type);
+    dram_.on_hit(page, type);  // the triggering write sets the bit
+    latency += vmm_.access(page, type);
+    return latency;
+  }
+  // Page fault. Writes (and any fault while DRAM has spare frames) fill
+  // DRAM; read faults fill NVM.
+  Nanoseconds latency = 0;
+  const bool to_dram =
+      type == AccessType::kWrite || vmm_.has_free_frame(Tier::kDram);
+  if (to_dram) {
+    if (!vmm_.has_free_frame(Tier::kDram)) latency += demote_dram_victim();
+    latency += vmm_.fault_in(page, Tier::kDram);
+    dram_.insert(page, type);
+    if (type == AccessType::kWrite) {
+      dram_.on_hit(page, type);
+      vmm_.touch_dirty(page);
+    }
+  } else {
+    if (!vmm_.has_free_frame(Tier::kNvm)) evict_nvm_victim();
+    latency += vmm_.fault_in(page, Tier::kNvm);
+    nvm_.insert(page, type);
+  }
+  return latency;
+}
+
+}  // namespace hymem::policy

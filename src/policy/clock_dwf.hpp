@@ -1,0 +1,48 @@
+// CLOCK-DWF (Lee, Bahn & Noh, IEEE TC 2013) — the paper's primary baseline,
+// reimplemented from the decision rules both papers state:
+//
+//   * two clock algorithms, one per module;
+//   * page fault caused by a WRITE  -> page placed in DRAM;
+//     page fault caused by a READ   -> page placed in NVM
+//     (unless DRAM still has free frames, which also captures the paper's
+//     observation that an empty DRAM absorbs pages regardless of type);
+//   * any WRITE to a page residing in NVM -> immediate migration to DRAM,
+//     so NVM never serves a write;
+//   * DRAM victims are chosen write-history-aware (the reference bit is set
+//     by writes only, so read-dominant pages age out first) and are demoted
+//     to NVM, not discarded;
+//   * NVM victims (standard clock) are evicted to disk.
+//
+// The motivation section's findings hinge on this structure: when DRAM is
+// full, every write to an NVM page costs BOTH a NVM->DRAM and a DRAM->NVM
+// page copy (2 * PageFactor device accesses each way).
+#pragma once
+
+#include "policy/clock.hpp"
+#include "policy/hybrid_policy.hpp"
+
+namespace hymem::policy {
+
+/// CLOCK-DWF hybrid policy.
+class ClockDwfPolicy final : public HybridPolicy {
+ public:
+  explicit ClockDwfPolicy(os::Vmm& vmm);
+
+  std::string_view name() const override { return "clock-dwf"; }
+  Nanoseconds on_access(PageId page, AccessType type) override;
+
+  const ClockPolicy& dram_clock() const { return dram_; }
+  const ClockPolicy& nvm_clock() const { return nvm_; }
+
+ private:
+  /// Makes room in DRAM by demoting its clock victim to NVM (evicting an NVM
+  /// page to disk first when NVM is also full). Returns the demotion latency.
+  Nanoseconds demote_dram_victim();
+  /// Makes room in NVM by evicting its clock victim to disk.
+  void evict_nvm_victim();
+
+  ClockPolicy dram_;
+  ClockPolicy nvm_;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,195 @@
+#include "policy/clock_pro.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+ClockProPolicy::ClockProPolicy(std::size_t capacity)
+    : capacity_(capacity),
+      cold_target_(std::max<std::size_t>(1, capacity / 4)) {
+  HYMEM_CHECK_MSG(capacity >= 2, "CLOCK-Pro needs capacity >= 2");
+}
+
+bool ClockProPolicy::contains(PageId page) const {
+  const auto it = index_.find(page);
+  return it != index_.end() && it->second->kind != Kind::kColdNonResident;
+}
+
+ClockProPolicy::Ring::iterator ClockProPolicy::advance(Ring::iterator it) {
+  HYMEM_CHECK(!ring_.empty());
+  if (it == ring_.end()) it = ring_.begin();
+  ++it;
+  if (it == ring_.end()) it = ring_.begin();
+  return it;
+}
+
+void ClockProPolicy::detach(Ring::iterator it) {
+  // Move any hand off the entry about to disappear.
+  auto fix = [&](Ring::iterator& hand) {
+    if (hand == it) {
+      hand = ring_.size() > 1 ? advance(hand) : ring_.end();
+    }
+  };
+  fix(hand_hot_);
+  fix(hand_cold_);
+  fix(hand_test_);
+  index_.erase(it->page);
+  ring_.erase(it);
+}
+
+void ClockProPolicy::run_hand_hot() {
+  // Demote the first unreferenced hot page the hot hand meets; clear
+  // reference bits along the way. Bounded by two laps.
+  if (hot_count_ == 0) return;
+  if (hand_hot_ == ring_.end()) hand_hot_ = ring_.begin();
+  for (std::size_t steps = 0; steps < 2 * ring_.size() + 1; ++steps) {
+    if (hand_hot_->kind == Kind::kHot) {
+      if (hand_hot_->ref) {
+        hand_hot_->ref = false;
+      } else {
+        hand_hot_->kind = Kind::kColdResident;
+        hand_hot_->test = false;
+        --hot_count_;
+        ++cold_res_count_;
+        hand_hot_ = advance(hand_hot_);
+        return;
+      }
+    } else if (hand_hot_->kind == Kind::kColdResident && hand_hot_->test) {
+      // The hot hand also terminates test periods it passes (paper §3.3).
+      hand_hot_->test = false;
+      cold_target_ = std::max<std::size_t>(1, cold_target_ - 1);
+    }
+    hand_hot_ = advance(hand_hot_);
+  }
+}
+
+void ClockProPolicy::run_hand_test() {
+  // Reclaim one non-resident history entry.
+  if (nonres_count_ == 0) return;
+  if (hand_test_ == ring_.end()) hand_test_ = ring_.begin();
+  for (std::size_t steps = 0; steps < ring_.size() + 1; ++steps) {
+    if (hand_test_->kind == Kind::kColdNonResident) {
+      const auto doomed = hand_test_;
+      hand_test_ = advance(hand_test_);
+      --nonres_count_;
+      detach(doomed);
+      return;
+    }
+    hand_test_ = advance(hand_test_);
+  }
+}
+
+void ClockProPolicy::ensure_cold_resident() {
+  // Guarantee the cold hand has something to work on.
+  std::size_t guard = 2 * capacity_ + 2;
+  while (cold_res_count_ == 0 && hot_count_ > 0 && guard-- > 0) {
+    run_hand_hot();
+  }
+  HYMEM_CHECK_MSG(cold_res_count_ > 0, "CLOCK-Pro could not produce a cold page");
+}
+
+void ClockProPolicy::on_hit(PageId page, AccessType /*type*/) {
+  const auto it = index_.find(page);
+  HYMEM_CHECK_MSG(it != index_.end() && it->second->kind != Kind::kColdNonResident,
+                  "hit on untracked page");
+  it->second->ref = true;
+}
+
+void ClockProPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full CLOCK-Pro");
+  const auto ghost = index_.find(page);
+  const bool was_in_test = ghost != index_.end();
+  if (was_in_test) {
+    // Fault within the test period: the page is hot, and cold pages earn a
+    // larger share of memory.
+    cold_target_ = std::min(cold_target_ + 1, capacity_ - 1);
+    --nonres_count_;
+    detach(ghost->second);
+  }
+  // New entries go in just behind the hot hand (the list "head").
+  Ring::iterator pos = hand_hot_ == ring_.end() ? ring_.end() : hand_hot_;
+  const auto it = ring_.insert(
+      pos, Entry{page,
+                 was_in_test ? Kind::kHot : Kind::kColdResident,
+                 /*ref=*/false,
+                 /*test=*/!was_in_test});
+  index_.emplace(page, it);
+  if (was_in_test) {
+    ++hot_count_;
+  } else {
+    ++cold_res_count_;
+  }
+  if (hand_hot_ == ring_.end()) hand_hot_ = it;
+  if (hand_cold_ == ring_.end()) hand_cold_ = it;
+  if (hand_test_ == ring_.end()) hand_test_ = it;
+  // Keep the hot set within its allocation.
+  std::size_t guard = 2 * capacity_ + 2;
+  while (hot_count_ + cold_target_ > capacity_ && hot_count_ > 0 && guard-- > 0) {
+    run_hand_hot();
+  }
+}
+
+std::optional<PageId> ClockProPolicy::select_victim() {
+  if (size() == 0) return std::nullopt;
+  ensure_cold_resident();
+  if (hand_cold_ == ring_.end()) hand_cold_ = ring_.begin();
+  for (std::size_t steps = 0; steps < 3 * ring_.size() + 1; ++steps) {
+    if (hand_cold_->kind == Kind::kColdResident) {
+      if (hand_cold_->ref) {
+        if (hand_cold_->test) {
+          // Re-accessed within its test period: promote to hot.
+          hand_cold_->kind = Kind::kHot;
+          hand_cold_->ref = false;
+          hand_cold_->test = false;
+          --cold_res_count_;
+          ++hot_count_;
+          cold_target_ = std::min(cold_target_ + 1, capacity_ - 1);
+          std::size_t guard = 2 * capacity_ + 2;
+          while (hot_count_ + cold_target_ > capacity_ && hot_count_ > 0 &&
+                 guard-- > 0) {
+            run_hand_hot();
+          }
+          ensure_cold_resident();
+        } else {
+          // Second chance with a fresh test period.
+          hand_cold_->ref = false;
+          hand_cold_->test = true;
+        }
+      } else {
+        return hand_cold_->page;
+      }
+    }
+    hand_cold_ = advance(hand_cold_);
+  }
+  HYMEM_CHECK_MSG(false, "CLOCK-Pro cold sweep failed to find a victim");
+  return std::nullopt;
+}
+
+void ClockProPolicy::erase(PageId page) {
+  const auto it = index_.find(page);
+  HYMEM_CHECK_MSG(it != index_.end() && it->second->kind != Kind::kColdNonResident,
+                  "erase of untracked page");
+  Ring::iterator entry = it->second;
+  if (entry->kind == Kind::kHot) {
+    --hot_count_;
+    detach(entry);
+    return;
+  }
+  --cold_res_count_;
+  if (entry->test) {
+    // Evicted inside its test period: keep a non-resident history entry so a
+    // quick re-fault can be recognized.
+    entry->kind = Kind::kColdNonResident;
+    entry->ref = false;
+    while (nonres_count_ >= capacity_) run_hand_test();
+    ++nonres_count_;
+  } else {
+    cold_target_ = std::max<std::size_t>(1, cold_target_ - 1);
+    detach(entry);
+  }
+}
+
+}  // namespace hymem::policy

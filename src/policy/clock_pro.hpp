@@ -1,0 +1,67 @@
+// CLOCK-Pro (Jiang, Chen & Zhang, USENIX ATC'05), the strongest
+// CLOCK-family baseline the CLOCK-DWF paper compares against.
+//
+// Faithful structure: one circular list holding hot pages, resident cold
+// pages and non-resident cold ("test ghost") entries, swept by three hands
+// (hot / cold / test). Cold pages carry a test period; a hit during the test
+// period promotes the page to hot and grows the cold target `mc`; an expired
+// test shrinks it. The non-resident history is capped at the cache size.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// CLOCK-Pro replacement.
+class ClockProPolicy final : public ReplacementPolicy {
+ public:
+  explicit ClockProPolicy(std::size_t capacity);
+
+  std::string_view name() const override { return "clock-pro"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return hot_count_ + cold_res_count_; }
+  bool contains(PageId page) const override;
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+  /// Current adaptive cold-page target (for tests).
+  std::size_t cold_target() const { return cold_target_; }
+  /// Number of non-resident test entries currently remembered.
+  std::size_t nonresident_count() const { return nonres_count_; }
+
+ private:
+  enum class Kind : std::uint8_t { kHot, kColdResident, kColdNonResident };
+
+  struct Entry {
+    PageId page;
+    Kind kind;
+    bool ref = false;
+    bool test = false;
+  };
+  using Ring = std::list<Entry>;
+
+  Ring::iterator advance(Ring::iterator it);
+  void detach(Ring::iterator it);
+  void run_hand_hot();
+  void run_hand_test();
+  void ensure_cold_resident();
+
+  std::size_t capacity_;
+  std::size_t cold_target_;  // mc: desired number of resident cold pages
+  Ring ring_;
+  Ring::iterator hand_hot_ = ring_.end();
+  Ring::iterator hand_cold_ = ring_.end();
+  Ring::iterator hand_test_ = ring_.end();
+  std::unordered_map<PageId, Ring::iterator> index_;
+  std::size_t hot_count_ = 0;
+  std::size_t cold_res_count_ = 0;
+  std::size_t nonres_count_ = 0;
+};
+
+}  // namespace hymem::policy

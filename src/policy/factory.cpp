@@ -1,0 +1,39 @@
+#include "policy/factory.hpp"
+
+#include <stdexcept>
+
+#include "policy/car.hpp"
+#include "policy/clock.hpp"
+#include "policy/clock_pro.hpp"
+#include "policy/fifo.hpp"
+#include "policy/lfu.hpp"
+#include "policy/lirs.hpp"
+#include "policy/lru.hpp"
+#include "policy/lru_k.hpp"
+#include "policy/random_repl.hpp"
+#include "policy/two_q.hpp"
+
+namespace hymem::policy {
+
+std::vector<std::string> replacement_names() {
+  return {"lru", "fifo", "clock", "clock-pro", "car", "lirs", "lfu", "lru-k",
+          "2q", "random"};
+}
+
+std::unique_ptr<ReplacementPolicy> make_replacement(const std::string& name,
+                                                    std::size_t capacity,
+                                                    std::uint64_t seed) {
+  if (name == "lru") return std::make_unique<LruPolicy>(capacity);
+  if (name == "fifo") return std::make_unique<FifoPolicy>(capacity);
+  if (name == "clock") return std::make_unique<ClockPolicy>(capacity);
+  if (name == "clock-pro") return std::make_unique<ClockProPolicy>(capacity);
+  if (name == "car") return std::make_unique<CarPolicy>(capacity);
+  if (name == "lirs") return std::make_unique<LirsPolicy>(capacity);
+  if (name == "lfu") return std::make_unique<LfuPolicy>(capacity);
+  if (name == "lru-k") return std::make_unique<LruKPolicy>(capacity);
+  if (name == "2q") return std::make_unique<TwoQPolicy>(capacity);
+  if (name == "random") return std::make_unique<RandomPolicy>(capacity, seed);
+  throw std::invalid_argument("unknown replacement policy: " + name);
+}
+
+}  // namespace hymem::policy

@@ -1,0 +1,23 @@
+// Replacement-policy factory: builds single-module policies by name, used by
+// the baseline sweeps and the CLI tools. (The hybrid-policy factory lives in
+// hymem::sim, which can see the core library as well.)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// Names accepted by make_replacement().
+std::vector<std::string> replacement_names();
+
+/// Builds "lru", "fifo", "clock", "clock-pro", "car", "lfu" or "random".
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<ReplacementPolicy> make_replacement(const std::string& name,
+                                                    std::size_t capacity,
+                                                    std::uint64_t seed = 1);
+
+}  // namespace hymem::policy

@@ -1,0 +1,38 @@
+#include "policy/fifo.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+FifoPolicy::FifoPolicy(std::size_t capacity) : capacity_(capacity) {
+  HYMEM_CHECK_MSG(capacity > 0, "FIFO capacity must be positive");
+}
+
+void FifoPolicy::on_hit(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(contains(page), "hit on untracked page");
+  // FIFO ignores recency.
+}
+
+void FifoPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full FIFO");
+  auto node = std::make_unique<Node>();
+  node->page = page;
+  list_.push_front(*node);
+  nodes_.emplace(page, std::move(node));
+}
+
+std::optional<PageId> FifoPolicy::select_victim() {
+  const Node* victim = list_.back();
+  if (victim == nullptr) return std::nullopt;
+  return victim->page;
+}
+
+void FifoPolicy::erase(PageId page) {
+  const auto it = nodes_.find(page);
+  HYMEM_CHECK_MSG(it != nodes_.end(), "erase of untracked page");
+  list_.erase(*it->second);
+  nodes_.erase(it);
+}
+
+}  // namespace hymem::policy

@@ -1,0 +1,39 @@
+// First-In-First-Out replacement: insertion order, hits ignored. A lower
+// bound for recency-aware policies in the baseline sweeps.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "policy/replacement.hpp"
+#include "util/intrusive_list.hpp"
+
+namespace hymem::policy {
+
+/// FIFO queue of pages.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  explicit FifoPolicy(std::size_t capacity);
+
+  std::string_view name() const override { return "fifo"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return nodes_.size(); }
+  bool contains(PageId page) const override { return nodes_.count(page) > 0; }
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+ private:
+  struct Node {
+    PageId page;
+    ListHook hook;
+  };
+
+  std::size_t capacity_;
+  IntrusiveList<Node, &Node::hook> list_;  // front = newest
+  std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,39 @@
+// Hybrid-memory management policy interface.
+//
+// A HybridPolicy handles each main-memory request end-to-end by deciding
+// placement, migration and eviction, and executing those decisions through
+// the VMM's primitives (which do all the accounting). Every policy is costed
+// by the same mechanism layer, so comparisons are apples-to-apples.
+#pragma once
+
+#include <string_view>
+
+#include "os/vmm.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace hymem::policy {
+
+/// Base class of all hybrid-memory policies (and the single-module
+/// baselines, which simply leave one module empty).
+class HybridPolicy {
+ public:
+  explicit HybridPolicy(os::Vmm& vmm) : vmm_(vmm) {}
+  virtual ~HybridPolicy() = default;
+  HybridPolicy(const HybridPolicy&) = delete;
+  HybridPolicy& operator=(const HybridPolicy&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Serves one request; returns the latency visible to the requester
+  /// (device hit latency, or disk latency plus any synchronous migrations).
+  virtual Nanoseconds on_access(PageId page, AccessType type) = 0;
+
+  os::Vmm& vmm() { return vmm_; }
+  const os::Vmm& vmm() const { return vmm_; }
+
+ protected:
+  os::Vmm& vmm_;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,45 @@
+#include "policy/lfu.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+LfuPolicy::LfuPolicy(std::size_t capacity) : capacity_(capacity) {
+  HYMEM_CHECK_MSG(capacity > 0, "LFU capacity must be positive");
+}
+
+void LfuPolicy::on_hit(PageId page, AccessType /*type*/) {
+  const auto it = pages_.find(page);
+  HYMEM_CHECK_MSG(it != pages_.end(), "hit on untracked page");
+  order_.erase(it->second);
+  ++it->second.count;
+  order_.insert(it->second);
+}
+
+void LfuPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full LFU");
+  const Key key{1, next_seq_++, page};
+  pages_.emplace(page, key);
+  order_.insert(key);
+}
+
+std::optional<PageId> LfuPolicy::select_victim() {
+  if (order_.empty()) return std::nullopt;
+  return order_.begin()->page;
+}
+
+void LfuPolicy::erase(PageId page) {
+  const auto it = pages_.find(page);
+  HYMEM_CHECK_MSG(it != pages_.end(), "erase of untracked page");
+  order_.erase(it->second);
+  pages_.erase(it);
+}
+
+std::uint64_t LfuPolicy::frequency(PageId page) const {
+  const auto it = pages_.find(page);
+  HYMEM_CHECK_MSG(it != pages_.end(), "frequency of untracked page");
+  return it->second.count;
+}
+
+}  // namespace hymem::policy

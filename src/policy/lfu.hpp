@@ -1,0 +1,45 @@
+// LFU (Least Frequently Used) with FIFO tie-breaking. Included as the
+// frequency-only endpoint of the baseline spectrum.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// LFU replacement; O(log n) per operation via an ordered (count, seq) index.
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  explicit LfuPolicy(std::size_t capacity);
+
+  std::string_view name() const override { return "lfu"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return pages_.size(); }
+  bool contains(PageId page) const override { return pages_.count(page) > 0; }
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+  /// Access count of a tracked page (for tests).
+  std::uint64_t frequency(PageId page) const;
+
+ private:
+  struct Key {
+    std::uint64_t count;
+    std::uint64_t seq;  // insertion order; older evicts first on ties
+    PageId page;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::set<Key> order_;
+  std::unordered_map<PageId, Key> pages_;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,187 @@
+#include "policy/lirs.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+LirsPolicy::LirsPolicy(std::size_t capacity)
+    : capacity_(capacity),
+      lir_target_(capacity - std::max<std::size_t>(1, capacity / 16)) {
+  HYMEM_CHECK_MSG(capacity >= 2, "LIRS needs capacity >= 2");
+  HYMEM_CHECK(lir_target_ >= 1);
+}
+
+bool LirsPolicy::contains(PageId page) const {
+  const auto it = index_.find(page);
+  return it != index_.end() && it->second.state != State::kHirNonResident;
+}
+
+void LirsPolicy::stack_push_front(PageId page, State state) {
+  auto& idx = index_[page];
+  stack_.push_front(Entry{page, state});
+  idx.stack_it = stack_.begin();
+  idx.in_stack = true;
+  idx.state = state;
+}
+
+void LirsPolicy::queue_push_back(PageId page) {
+  auto& idx = index_[page];
+  queue_.push_back(page);
+  idx.queue_it = std::prev(queue_.end());
+  idx.in_queue = true;
+}
+
+void LirsPolicy::stack_remove(PageId page) {
+  auto& idx = index_.at(page);
+  if (!idx.in_stack) return;
+  stack_.erase(idx.stack_it);
+  idx.in_stack = false;
+}
+
+void LirsPolicy::queue_remove(PageId page) {
+  auto& idx = index_.at(page);
+  if (!idx.in_queue) return;
+  queue_.erase(idx.queue_it);
+  idx.in_queue = false;
+}
+
+void LirsPolicy::prune() {
+  while (!stack_.empty()) {
+    const Entry& bottom = stack_.back();
+    auto& idx = index_.at(bottom.page);
+    if (idx.state == State::kLir) return;
+    const PageId page = bottom.page;
+    stack_.pop_back();
+    idx.in_stack = false;
+    if (idx.state == State::kHirNonResident) {
+      --nonresident_count_;
+      index_.erase(page);
+    }
+    // Resident HIR pages stay in Q; their stack history simply expires.
+  }
+}
+
+void LirsPolicy::demote_bottom_lir() {
+  HYMEM_CHECK_MSG(!stack_.empty(), "no LIR page to demote");
+  const PageId page = stack_.back().page;
+  auto& idx = index_.at(page);
+  HYMEM_CHECK_MSG(idx.state == State::kLir, "stack bottom must be LIR");
+  stack_.pop_back();
+  idx.in_stack = false;
+  idx.state = State::kHirResident;
+  --lir_count_;
+  ++hir_resident_count_;
+  queue_push_back(page);
+  prune();
+}
+
+void LirsPolicy::enforce_nonresident_cap() {
+  const std::size_t cap = 2 * capacity_;
+  if (nonresident_count_ <= cap) return;
+  for (auto it = std::prev(stack_.end());
+       nonresident_count_ > cap && it != stack_.begin();) {
+    auto current = it--;
+    auto& idx = index_.at(current->page);
+    if (idx.state == State::kHirNonResident) {
+      const PageId page = current->page;
+      stack_.erase(current);
+      --nonresident_count_;
+      index_.erase(page);
+    }
+  }
+}
+
+void LirsPolicy::on_hit(PageId page, AccessType /*type*/) {
+  const auto it = index_.find(page);
+  HYMEM_CHECK_MSG(it != index_.end() && it->second.state != State::kHirNonResident,
+                  "hit on untracked page");
+  Index& idx = it->second;
+  if (idx.state == State::kLir) {
+    stack_remove(page);
+    stack_push_front(page, State::kLir);
+    prune();
+    return;
+  }
+  // Resident HIR.
+  if (idx.in_stack) {
+    // Small inter-reference recency proven: swap roles with the LIR bottom.
+    stack_remove(page);
+    queue_remove(page);
+    idx.state = State::kLir;
+    --hir_resident_count_;
+    ++lir_count_;
+    stack_push_front(page, State::kLir);
+    if (lir_count_ > lir_target_) demote_bottom_lir();
+    prune();
+  } else {
+    // Recency too large to be in S: stay HIR, refresh both recencies.
+    stack_push_front(page, State::kHirResident);
+    queue_remove(page);
+    queue_push_back(page);
+  }
+}
+
+void LirsPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full LIRS");
+  const auto ghost = index_.find(page);
+  if (ghost != index_.end()) {
+    // Re-fault within the stack: the page has small reuse distance -> LIR.
+    Index& idx = ghost->second;
+    HYMEM_CHECK(idx.state == State::kHirNonResident);
+    stack_remove(page);
+    --nonresident_count_;
+    idx.state = State::kLir;
+    ++lir_count_;
+    stack_push_front(page, State::kLir);
+    if (lir_count_ > lir_target_) demote_bottom_lir();
+    prune();
+    return;
+  }
+  if (lir_count_ < lir_target_) {
+    // Warmup: fill the LIR set first.
+    ++lir_count_;
+    stack_push_front(page, State::kLir);
+    return;
+  }
+  ++hir_resident_count_;
+  stack_push_front(page, State::kHirResident);
+  queue_push_back(page);
+  enforce_nonresident_cap();
+}
+
+std::optional<PageId> LirsPolicy::select_victim() {
+  if (size() == 0) return std::nullopt;
+  if (!queue_.empty()) return queue_.front();
+  // No resident HIR pages: the coldest LIR page (stack bottom) goes.
+  HYMEM_CHECK(!stack_.empty());
+  return stack_.back().page;
+}
+
+void LirsPolicy::erase(PageId page) {
+  const auto it = index_.find(page);
+  HYMEM_CHECK_MSG(it != index_.end() && it->second.state != State::kHirNonResident,
+                  "erase of untracked page");
+  Index& idx = it->second;
+  if (idx.state == State::kLir) {
+    stack_remove(page);
+    --lir_count_;
+    index_.erase(page);
+    prune();
+    return;
+  }
+  // Resident HIR: keep the stack history as a non-resident ghost.
+  queue_remove(page);
+  --hir_resident_count_;
+  if (idx.in_stack) {
+    idx.state = State::kHirNonResident;
+    ++nonresident_count_;
+    enforce_nonresident_cap();
+  } else {
+    index_.erase(page);
+  }
+}
+
+}  // namespace hymem::policy

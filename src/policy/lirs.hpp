@@ -1,0 +1,79 @@
+// LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS'02).
+// The strongest classical LRU-replacement and the basis of CLOCK-Pro;
+// included so the baseline sweep spans the whole recency/reuse family.
+//
+// Structure: stack S orders pages by recency and holds LIR pages plus
+// (resident and non-resident) HIR pages whose inter-reference recency is
+// still being tested; queue Q holds the resident HIR pages, which are the
+// eviction candidates. A HIR page re-referenced while still in S has proven
+// a small inter-reference recency and swaps roles with the LIR page at the
+// stack bottom.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// LIRS replacement. The HIR allocation is max(1, capacity/16); the
+/// non-resident history in S is capped at 2x capacity.
+class LirsPolicy final : public ReplacementPolicy {
+ public:
+  explicit LirsPolicy(std::size_t capacity);
+
+  std::string_view name() const override { return "lirs"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return lir_count_ + hir_resident_count_; }
+  bool contains(PageId page) const override;
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+  std::size_t lir_count() const { return lir_count_; }
+  std::size_t hir_resident_count() const { return hir_resident_count_; }
+  std::size_t nonresident_count() const { return nonresident_count_; }
+
+ private:
+  enum class State : std::uint8_t { kLir, kHirResident, kHirNonResident };
+
+  struct Entry {
+    PageId page;
+    State state;
+  };
+  using Stack = std::list<Entry>;   // front = most recent
+  using Queue = std::list<PageId>;  // front = oldest resident HIR
+
+  struct Index {
+    Stack::iterator stack_it;  // valid iff in_stack
+    Queue::iterator queue_it;  // valid iff in_queue
+    bool in_stack = false;
+    bool in_queue = false;
+    State state = State::kHirNonResident;
+  };
+
+  /// Removes non-LIR entries from the stack bottom (invariant: the bottom
+  /// of S is always a LIR page).
+  void prune();
+  /// Demotes the stack-bottom LIR page to resident HIR (tail of Q).
+  void demote_bottom_lir();
+  void stack_remove(PageId page);
+  void queue_remove(PageId page);
+  void stack_push_front(PageId page, State state);
+  void queue_push_back(PageId page);
+  void enforce_nonresident_cap();
+
+  std::size_t capacity_;
+  std::size_t lir_target_;
+  Stack stack_;
+  Queue queue_;
+  std::unordered_map<PageId, Index> index_;
+  std::size_t lir_count_ = 0;
+  std::size_t hir_resident_count_ = 0;
+  std::size_t nonresident_count_ = 0;
+};
+
+}  // namespace hymem::policy

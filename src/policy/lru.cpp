@@ -1,0 +1,39 @@
+#include "policy/lru.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+LruPolicy::LruPolicy(std::size_t capacity) : capacity_(capacity) {
+  HYMEM_CHECK_MSG(capacity > 0, "LRU capacity must be positive");
+}
+
+void LruPolicy::on_hit(PageId page, AccessType /*type*/) {
+  const auto it = nodes_.find(page);
+  HYMEM_CHECK_MSG(it != nodes_.end(), "hit on untracked page");
+  list_.move_to_front(*it->second);
+}
+
+void LruPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full LRU");
+  auto node = std::make_unique<Node>();
+  node->page = page;
+  list_.push_front(*node);
+  nodes_.emplace(page, std::move(node));
+}
+
+std::optional<PageId> LruPolicy::select_victim() {
+  const Node* victim = list_.back();
+  if (victim == nullptr) return std::nullopt;
+  return victim->page;
+}
+
+void LruPolicy::erase(PageId page) {
+  const auto it = nodes_.find(page);
+  HYMEM_CHECK_MSG(it != nodes_.end(), "erase of untracked page");
+  list_.erase(*it->second);
+  nodes_.erase(it);
+}
+
+}  // namespace hymem::policy

@@ -1,0 +1,45 @@
+// Least-Recently-Used replacement — the paper's reference algorithm for both
+// the DRAM-only baseline (Fig. 1) and the two queues of the proposed scheme.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "policy/replacement.hpp"
+#include "util/intrusive_list.hpp"
+
+namespace hymem::policy {
+
+/// Classic LRU over pages: O(1) hit, insert and eviction.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  explicit LruPolicy(std::size_t capacity);
+
+  std::string_view name() const override { return "lru"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return nodes_.size(); }
+  bool contains(PageId page) const override { return nodes_.count(page) > 0; }
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+  /// MRU-to-LRU page order (for tests).
+  template <typename Fn>
+  void for_each_mru_to_lru(Fn&& fn) const {
+    list_.for_each([&fn](const Node& n) { fn(n.page); });
+  }
+
+ private:
+  struct Node {
+    PageId page;
+    ListHook hook;
+  };
+
+  std::size_t capacity_;
+  IntrusiveList<Node, &Node::hook> list_;  // front = MRU
+  std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,71 @@
+#include "policy/lru_k.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+std::uint64_t LruKPolicy::History::kth() const {
+  if (count < times.size()) return 0;
+  return times[cursor];  // oldest retained = K-th most recent
+}
+
+std::uint64_t LruKPolicy::History::newest() const {
+  const std::size_t newest_idx =
+      (cursor + times.size() - 1) % times.size();
+  return count == 0 ? 0 : times[newest_idx];
+}
+
+LruKPolicy::LruKPolicy(std::size_t capacity, unsigned k)
+    : capacity_(capacity), k_(k) {
+  HYMEM_CHECK_MSG(capacity > 0, "LRU-K capacity must be positive");
+  HYMEM_CHECK_MSG(k >= 1, "K must be at least 1");
+}
+
+LruKPolicy::Key LruKPolicy::key_of(const History& h, PageId page) const {
+  return Key{h.kth(), h.newest(), page};
+}
+
+void LruKPolicy::touch(PageId page) {
+  auto& h = pages_.at(page);
+  order_.erase(key_of(h, page));
+  h.times[h.cursor] = ++clock_;
+  h.cursor = (h.cursor + 1) % h.times.size();
+  ++h.count;
+  order_.insert(key_of(h, page));
+}
+
+void LruKPolicy::on_hit(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(contains(page), "hit on untracked page");
+  touch(page);
+}
+
+void LruKPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full LRU-K");
+  History h;
+  h.times.assign(k_, 0);
+  const auto [it, inserted] = pages_.emplace(page, std::move(h));
+  HYMEM_CHECK(inserted);
+  order_.insert(key_of(it->second, page));
+  touch(page);
+}
+
+std::optional<PageId> LruKPolicy::select_victim() {
+  if (order_.empty()) return std::nullopt;
+  return order_.begin()->page;
+}
+
+void LruKPolicy::erase(PageId page) {
+  const auto it = pages_.find(page);
+  HYMEM_CHECK_MSG(it != pages_.end(), "erase of untracked page");
+  order_.erase(key_of(it->second, page));
+  pages_.erase(it);
+}
+
+std::uint64_t LruKPolicy::kth_reference(PageId page) const {
+  const auto it = pages_.find(page);
+  HYMEM_CHECK_MSG(it != pages_.end(), "kth_reference of untracked page");
+  return it->second.kth();
+}
+
+}  // namespace hymem::policy

@@ -1,0 +1,66 @@
+// LRU-K replacement (O'Neil, O'Neil & Weikum, SIGMOD'93), instantiated as
+// LRU-2: the victim is the page whose K-th most recent reference is oldest
+// (pages with fewer than K references are evicted first, oldest first).
+// Included because it is the classic "reference density" alternative to the
+// paper's windowed counters for telling hot pages from one-shot touches.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// LRU-K with configurable K (default 2).
+class LruKPolicy final : public ReplacementPolicy {
+ public:
+  explicit LruKPolicy(std::size_t capacity, unsigned k = 2);
+
+  std::string_view name() const override { return "lru-k"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return pages_.size(); }
+  bool contains(PageId page) const override { return pages_.count(page) > 0; }
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+  unsigned k() const { return k_; }
+  /// K-th most recent reference time of a tracked page (0 when it has had
+  /// fewer than K references).
+  std::uint64_t kth_reference(PageId page) const;
+
+ private:
+  struct History {
+    // Circular buffer of the last K reference times; times[cursor] is the
+    // oldest retained (i.e. the K-th most recent once full).
+    std::vector<std::uint64_t> times;
+    std::size_t cursor = 0;
+    std::uint64_t count = 0;
+
+    std::uint64_t kth() const;    // 0 until K references have happened
+    std::uint64_t newest() const;
+  };
+
+  struct Key {
+    std::uint64_t kth;     // primary: oldest K-th reference evicts first
+    std::uint64_t newest;  // tie-break: least recently touched first
+    PageId page;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  Key key_of(const History& h, PageId page) const;
+  void touch(PageId page);
+
+  std::size_t capacity_;
+  unsigned k_;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<PageId, History> pages_;
+  std::set<Key> order_;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,39 @@
+#include "policy/random_repl.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+RandomPolicy::RandomPolicy(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  HYMEM_CHECK_MSG(capacity > 0, "Random capacity must be positive");
+}
+
+void RandomPolicy::on_hit(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(contains(page), "hit on untracked page");
+}
+
+void RandomPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full Random");
+  index_.emplace(page, pages_.size());
+  pages_.push_back(page);
+}
+
+std::optional<PageId> RandomPolicy::select_victim() {
+  if (pages_.empty()) return std::nullopt;
+  return pages_[rng_.next_below(pages_.size())];
+}
+
+void RandomPolicy::erase(PageId page) {
+  const auto it = index_.find(page);
+  HYMEM_CHECK_MSG(it != index_.end(), "erase of untracked page");
+  const std::size_t pos = it->second;
+  const PageId last = pages_.back();
+  pages_[pos] = last;
+  index_[last] = pos;
+  pages_.pop_back();
+  index_.erase(it);
+}
+
+}  // namespace hymem::policy

@@ -1,0 +1,34 @@
+// Random replacement — the no-information control in the baseline sweeps.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "policy/replacement.hpp"
+#include "util/random.hpp"
+
+namespace hymem::policy {
+
+/// Evicts a uniformly random tracked page. Deterministic under a fixed seed.
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::size_t capacity, std::uint64_t seed = 1);
+
+  std::string_view name() const override { return "random"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return pages_.size(); }
+  bool contains(PageId page) const override { return index_.count(page) > 0; }
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<PageId> pages_;  // dense array for O(1) random pick
+  std::unordered_map<PageId, std::size_t> index_;
+};
+
+}  // namespace hymem::policy

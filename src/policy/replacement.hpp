@@ -1,0 +1,45 @@
+// Single-module page replacement policy interface.
+//
+// These manage the contents of ONE memory module (used directly by the
+// DRAM-only / NVM-only baselines, and as building blocks inside hybrid
+// policies). They track membership and pick victims; residency mechanics
+// (frames, page table) belong to the VMM.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace hymem::policy {
+
+/// Replacement policy over a fixed-capacity set of pages.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Maximum number of pages the policy may hold.
+  virtual std::size_t capacity() const = 0;
+  /// Pages currently tracked.
+  virtual std::size_t size() const = 0;
+  virtual bool contains(PageId page) const = 0;
+  bool full() const { return size() >= capacity(); }
+
+  /// Notifies a hit on a tracked page.
+  virtual void on_hit(PageId page, AccessType type) = 0;
+
+  /// Starts tracking a new page (must not be present; must not be full —
+  /// callers evict first via select_victim()/erase()).
+  virtual void insert(PageId page, AccessType type) = 0;
+
+  /// Chooses the page to evict next (without removing it). nullopt iff empty.
+  virtual std::optional<PageId> select_victim() = 0;
+
+  /// Stops tracking a page (eviction or migration elsewhere).
+  virtual void erase(PageId page) = 0;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,36 @@
+#include "policy/single_tier.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+SingleTierPolicy::SingleTierPolicy(os::Vmm& vmm, Tier tier,
+                                   std::unique_ptr<ReplacementPolicy> replacement)
+    : HybridPolicy(vmm), tier_(tier), replacement_(std::move(replacement)) {
+  HYMEM_CHECK_MSG(vmm.frames(other(tier)) == 0,
+                  "single-tier policy requires the other module to be empty");
+  HYMEM_CHECK_MSG(replacement_ != nullptr, "replacement policy required");
+  HYMEM_CHECK_MSG(replacement_->capacity() == vmm.frames(tier),
+                  "replacement capacity must match module size");
+  name_ = std::string(tier == Tier::kDram ? "dram-only-" : "nvm-only-") +
+          std::string(replacement_->name());
+}
+
+Nanoseconds SingleTierPolicy::on_access(PageId page, AccessType type) {
+  if (vmm_.is_resident(page)) {
+    replacement_->on_hit(page, type);
+    return vmm_.access(page, type);
+  }
+  if (replacement_->full()) {
+    const auto victim = replacement_->select_victim();
+    HYMEM_CHECK_MSG(victim.has_value(), "full policy produced no victim");
+    replacement_->erase(*victim);
+    vmm_.evict(*victim);
+  }
+  const Nanoseconds latency = vmm_.fault_in(page, tier_);
+  replacement_->insert(page, type);
+  if (type == AccessType::kWrite) vmm_.touch_dirty(page);
+  return latency;
+}
+
+}  // namespace hymem::policy

@@ -1,0 +1,31 @@
+// Single-module baselines: a DRAM-only or NVM-only main memory managed by
+// any ReplacementPolicy. These are the normalization anchors of every figure
+// (power is normalized to DRAM-only, NVM write counts to NVM-only).
+#pragma once
+
+#include <memory>
+
+#include "policy/hybrid_policy.hpp"
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// Runs the whole main memory as one module; the other module must be
+/// configured with zero frames.
+class SingleTierPolicy final : public HybridPolicy {
+ public:
+  SingleTierPolicy(os::Vmm& vmm, Tier tier,
+                   std::unique_ptr<ReplacementPolicy> replacement);
+
+  std::string_view name() const override { return name_; }
+  Nanoseconds on_access(PageId page, AccessType type) override;
+
+  const ReplacementPolicy& replacement() const { return *replacement_; }
+
+ private:
+  Tier tier_;
+  std::unique_ptr<ReplacementPolicy> replacement_;
+  std::string name_;
+};
+
+}  // namespace hymem::policy

@@ -1,0 +1,79 @@
+#include "policy/two_q.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hymem::policy {
+
+TwoQPolicy::TwoQPolicy(std::size_t capacity)
+    : capacity_(capacity),
+      kin_(std::max<std::size_t>(1, capacity / 4)),
+      kout_(std::max<std::size_t>(1, capacity / 2)) {
+  HYMEM_CHECK_MSG(capacity >= 2, "2Q needs capacity >= 2");
+}
+
+bool TwoQPolicy::contains(PageId page) const {
+  return resident_.count(page) > 0;
+}
+
+void TwoQPolicy::remember_ghost(PageId page) {
+  a1out_.push_front(page);
+  ghosts_.emplace(page, a1out_.begin());
+  while (a1out_.size() > kout_) {
+    ghosts_.erase(a1out_.back());
+    a1out_.pop_back();
+  }
+}
+
+void TwoQPolicy::on_hit(PageId page, AccessType /*type*/) {
+  const auto it = resident_.find(page);
+  HYMEM_CHECK_MSG(it != resident_.end(), "hit on untracked page");
+  if (it->second.where == Where::kProtected) {
+    am_.erase(it->second.it);
+    am_.push_front(page);
+    it->second.it = am_.begin();
+  }
+  // 2Q: hits inside the probation FIFO do nothing (a burst to a brand-new
+  // page must not earn protection).
+}
+
+void TwoQPolicy::insert(PageId page, AccessType /*type*/) {
+  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full 2Q");
+  const auto ghost = ghosts_.find(page);
+  if (ghost != ghosts_.end()) {
+    // Re-reference within the ghost window: straight into the protected LRU.
+    a1out_.erase(ghost->second);
+    ghosts_.erase(ghost);
+    am_.push_front(page);
+    resident_.emplace(page, Slot{Where::kProtected, am_.begin()});
+  } else {
+    a1in_.push_front(page);
+    resident_.emplace(page, Slot{Where::kProbation, a1in_.begin()});
+  }
+}
+
+std::optional<PageId> TwoQPolicy::select_victim() {
+  if (size() == 0) return std::nullopt;
+  // Evict from probation while it exceeds its share (or protected is empty).
+  if ((a1in_.size() > kin_ || am_.empty()) && !a1in_.empty()) {
+    return a1in_.back();
+  }
+  if (!am_.empty()) return am_.back();
+  return a1in_.back();
+}
+
+void TwoQPolicy::erase(PageId page) {
+  const auto it = resident_.find(page);
+  HYMEM_CHECK_MSG(it != resident_.end(), "erase of untracked page");
+  if (it->second.where == Where::kProbation) {
+    a1in_.erase(it->second.it);
+    remember_ghost(page);
+  } else {
+    am_.erase(it->second.it);
+  }
+  resident_.erase(it);
+}
+
+}  // namespace hymem::policy

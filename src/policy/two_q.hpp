@@ -1,0 +1,55 @@
+// 2Q replacement (Johnson & Shasha, VLDB'94), simplified full version:
+// new pages enter a FIFO probation queue (A1in); pages evicted from
+// probation are remembered in a ghost queue (A1out); a re-reference while
+// in the ghost queue promotes the page into the protected LRU (Am).
+// Included as the two-queue ancestor of the paper's two-LRU structure.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "policy/replacement.hpp"
+
+namespace hymem::policy {
+
+/// 2Q with Kin = capacity/4 probation share and Kout = capacity/2 ghosts.
+class TwoQPolicy final : public ReplacementPolicy {
+ public:
+  explicit TwoQPolicy(std::size_t capacity);
+
+  std::string_view name() const override { return "2q"; }
+  std::size_t capacity() const override { return capacity_; }
+  std::size_t size() const override { return a1in_.size() + am_.size(); }
+  bool contains(PageId page) const override;
+
+  void on_hit(PageId page, AccessType type) override;
+  void insert(PageId page, AccessType type) override;
+  std::optional<PageId> select_victim() override;
+  void erase(PageId page) override;
+
+  std::size_t probation_size() const { return a1in_.size(); }
+  std::size_t protected_size() const { return am_.size(); }
+  std::size_t ghost_size() const { return a1out_.size(); }
+
+ private:
+  using Queue = std::list<PageId>;  // front = newest / MRU
+
+  enum class Where : std::uint8_t { kProbation, kProtected };
+  struct Slot {
+    Where where;
+    Queue::iterator it;
+  };
+
+  void remember_ghost(PageId page);
+
+  std::size_t capacity_;
+  std::size_t kin_;
+  std::size_t kout_;
+  Queue a1in_;
+  Queue am_;
+  Queue a1out_;
+  std::unordered_map<PageId, Slot> resident_;
+  std::unordered_map<PageId, Queue::iterator> ghosts_;
+};
+
+}  // namespace hymem::policy

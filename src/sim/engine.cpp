@@ -1,0 +1,52 @@
+#include "sim/engine.hpp"
+
+#include "trace/access.hpp"
+#include "util/check.hpp"
+
+namespace hymem::sim {
+
+RunResult run_trace(policy::HybridPolicy& policy, const trace::Trace& trace,
+                    double duration_s, unsigned warmup_passes) {
+  HYMEM_CHECK_MSG(!trace.empty(), "empty trace");
+  os::Vmm& vmm = policy.vmm();
+  const std::uint64_t page_size = vmm.config().page_size;
+  for (unsigned pass = 0; pass < warmup_passes; ++pass) {
+    for (const auto& access : trace) {
+      policy.on_access(trace::page_of(access.addr, page_size), access.type);
+    }
+    vmm.reset_accounting();
+  }
+  RunResult result;
+  result.policy = std::string(policy.name());
+  result.workload = trace.name();
+  result.duration_s = duration_s;
+  for (const auto& access : trace) {
+    const PageId page = trace::page_of(access.addr, page_size);
+    result.visible_latency_ns += policy.on_access(page, access.type);
+    ++result.accesses;
+  }
+  result.counts = model::EventCounts::from_vmm(vmm, result.accesses);
+  result.params = model::ModelParams::from_vmm(vmm);
+  return result;
+}
+
+RunResult run_stream(policy::HybridPolicy& policy,
+                     trace::StreamTraceReader& reader, double duration_s) {
+  os::Vmm& vmm = policy.vmm();
+  const std::uint64_t page_size = vmm.config().page_size;
+  RunResult result;
+  result.policy = std::string(policy.name());
+  result.workload = reader.name();
+  result.duration_s = duration_s;
+  while (const auto access = reader.next()) {
+    const PageId page = trace::page_of(access->addr, page_size);
+    result.visible_latency_ns += policy.on_access(page, access->type);
+    ++result.accesses;
+  }
+  HYMEM_CHECK_MSG(result.accesses > 0, "empty stream");
+  result.counts = model::EventCounts::from_vmm(vmm, result.accesses);
+  result.params = model::ModelParams::from_vmm(vmm);
+  return result;
+}
+
+}  // namespace hymem::sim

@@ -1,0 +1,69 @@
+// Experiment runner: the paper's evaluation methodology in one call.
+//
+// Sizing rule (Section V.A): total main memory = `memory_fraction` (75%) of
+// the workload's footprint pages; DRAM = `dram_fraction` (10%) of that
+// memory. Single-module policies get the whole budget as one module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/migration_config.hpp"
+#include "mem/technology.hpp"
+#include "sim/engine.hpp"
+#include "synth/workload_profile.hpp"
+#include "trace/trace.hpp"
+
+namespace hymem::sim {
+
+/// One experiment = one (policy, sizing, workload) run.
+struct ExperimentConfig {
+  std::string policy = "two-lru";
+  double memory_fraction = 0.75;  ///< Memory pages / footprint pages.
+  double dram_fraction = 0.10;    ///< DRAM frames / memory frames.
+  std::uint64_t page_size = 4096;
+  std::uint64_t access_granularity = 64;  ///< PageFactor = page/granularity.
+  mem::MemTechnology dram = mem::dram_table4();
+  mem::MemTechnology nvm = mem::pcm_table4();
+  mem::DiskModel disk{};
+  core::MigrationConfig migration{};
+  mem::TransferMode transfer_mode = mem::TransferMode::kDma;
+  bool wear_leveling = false;
+  /// Uncounted replays of the trace before the measured pass (steady-state
+  /// measurement; see run_trace).
+  unsigned warmup_passes = 1;
+};
+
+/// Memory sizing derived from a trace's footprint.
+struct MemorySizing {
+  std::uint64_t total_frames = 0;
+  std::uint64_t dram_frames = 0;
+  std::uint64_t nvm_frames = 0;
+};
+
+/// Computes the Section V.A sizing for a given footprint.
+MemorySizing size_memory(std::uint64_t footprint_pages,
+                         const ExperimentConfig& config);
+
+/// Runs one experiment over an existing memory trace. `duration_s` feeds the
+/// Eq. 3 static proration.
+RunResult run_experiment(const trace::Trace& trace, double duration_s,
+                         const ExperimentConfig& config);
+
+/// Two-trace variant: memory is sized from (and warmed on) `warmup`, then
+/// `measured` is replayed with counting on. This is how run_workload
+/// realizes the paper's steady-state methodology: the warmup trace covers
+/// the full Table III footprint (cold start), while the measured trace has
+/// the same distribution without the one-time cold touches.
+RunResult run_experiment(const trace::Trace& warmup,
+                         const trace::Trace& measured, double duration_s,
+                         const ExperimentConfig& config);
+
+/// Generates the synthetic traces for `profile` (divided by `scale`) and
+/// runs the steady-state experiment on them.
+RunResult run_workload(const synth::WorkloadProfile& profile,
+                       std::uint64_t scale, const ExperimentConfig& config,
+                       std::uint64_t seed = 42);
+
+}  // namespace hymem::sim

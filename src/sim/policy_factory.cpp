@@ -1,0 +1,64 @@
+#include "sim/policy_factory.hpp"
+
+#include <stdexcept>
+
+#include "core/migration_scheme.hpp"
+#include "policy/clock_dwf.hpp"
+#include "policy/dram_cache.hpp"
+#include "policy/factory.hpp"
+#include "policy/rank_mq.hpp"
+#include "policy/single_tier.hpp"
+#include "policy/static_partition.hpp"
+
+namespace hymem::sim {
+
+std::vector<std::string> policy_names() {
+  return {"dram-only",  "nvm-only",         "clock-dwf",
+          "two-lru",    "two-lru-adaptive", "static-partition",
+          "dram-cache", "rank-mq"};
+}
+
+bool is_single_tier(const std::string& name) {
+  return name.rfind("dram-only", 0) == 0 || name.rfind("nvm-only", 0) == 0;
+}
+
+std::unique_ptr<policy::HybridPolicy> make_policy(
+    const std::string& name, os::Vmm& vmm,
+    const core::MigrationConfig& migration) {
+  if (is_single_tier(name)) {
+    const bool dram = name.rfind("dram-only", 0) == 0;
+    const Tier tier = dram ? Tier::kDram : Tier::kNvm;
+    const std::string base = dram ? "dram-only" : "nvm-only";
+    std::string repl = "lru";
+    if (name.size() > base.size()) {
+      if (name[base.size()] != ':') {
+        throw std::invalid_argument("unknown policy: " + name);
+      }
+      repl = name.substr(base.size() + 1);
+    }
+    return std::make_unique<policy::SingleTierPolicy>(
+        vmm, tier,
+        policy::make_replacement(repl,
+                                 static_cast<std::size_t>(vmm.frames(tier))));
+  }
+  if (name == "clock-dwf") {
+    return std::make_unique<policy::ClockDwfPolicy>(vmm);
+  }
+  if (name == "two-lru" || name == "two-lru-adaptive") {
+    core::MigrationConfig cfg = migration;
+    cfg.adaptive = (name == "two-lru-adaptive");
+    return std::make_unique<core::TwoLruMigrationPolicy>(vmm, cfg);
+  }
+  if (name == "static-partition") {
+    return std::make_unique<policy::StaticPartitionPolicy>(vmm);
+  }
+  if (name == "dram-cache") {
+    return std::make_unique<policy::DramCachePolicy>(vmm);
+  }
+  if (name == "rank-mq") {
+    return std::make_unique<policy::RankMqPolicy>(vmm);
+  }
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+}  // namespace hymem::sim

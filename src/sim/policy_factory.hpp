@@ -1,0 +1,38 @@
+// Hybrid-policy factory: builds any policy in the suite by name against a
+// configured VMM.
+//
+// Names:
+//   "dram-only"          DRAM-only main memory, LRU (Fig. 1 baseline)
+//   "dram-only:<repl>"   DRAM-only with another replacement policy
+//   "nvm-only"           NVM-only main memory, LRU (endurance baseline)
+//   "nvm-only:<repl>"    NVM-only with another replacement policy
+//   "clock-dwf"          CLOCK-DWF (Lee et al.)
+//   "two-lru"            the paper's proposed scheme
+//   "two-lru-adaptive"   proposed scheme + adaptive thresholds (extension)
+//   "static-partition"   hash-partitioned hybrid, no migrations (ablation)
+//   "dram-cache"         promote-on-touch DRAM cache over NVM (related work)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/migration_config.hpp"
+#include "policy/hybrid_policy.hpp"
+
+namespace hymem::sim {
+
+/// All accepted base names.
+std::vector<std::string> policy_names();
+
+/// True if the name denotes a single-module (DRAM-only/NVM-only) policy.
+bool is_single_tier(const std::string& name);
+
+/// Builds a policy. The VMM must be sized consistently (single-module
+/// policies need the other module at zero frames). Throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<policy::HybridPolicy> make_policy(
+    const std::string& name, os::Vmm& vmm,
+    const core::MigrationConfig& migration = {});
+
+}  // namespace hymem::sim

@@ -1,0 +1,116 @@
+#include "sim/reporter.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hymem::sim {
+
+double Stack::total() const {
+  return std::accumulate(parts.begin(), parts.end(), 0.0);
+}
+
+FigureTable::FigureTable(std::string title, std::vector<std::string> components,
+                         std::vector<std::string> series)
+    : title_(std::move(title)),
+      components_(std::move(components)),
+      series_(std::move(series)) {
+  HYMEM_CHECK(!components_.empty());
+  HYMEM_CHECK(!series_.empty());
+}
+
+void FigureTable::add(const std::string& workload,
+                      const std::vector<Stack>& stacks) {
+  HYMEM_CHECK_MSG(stacks.size() == series_.size(), "series arity mismatch");
+  for (const Stack& s : stacks) {
+    HYMEM_CHECK_MSG(s.parts.size() == components_.size(),
+                    "component arity mismatch");
+  }
+  rows_.push_back(Row{workload, stacks});
+}
+
+double FigureTable::geomean_total(std::size_t series_index) const {
+  HYMEM_CHECK(series_index < series_.size());
+  std::vector<double> totals;
+  totals.reserve(rows_.size());
+  for (const Row& r : rows_) totals.push_back(r.stacks[series_index].total());
+  return geometric_mean(totals);
+}
+
+double FigureTable::amean_total(std::size_t series_index) const {
+  HYMEM_CHECK(series_index < series_.size());
+  std::vector<double> totals;
+  totals.reserve(rows_.size());
+  for (const Row& r : rows_) totals.push_back(r.stacks[series_index].total());
+  return arithmetic_mean(totals);
+}
+
+void FigureTable::print(std::ostream& out) const {
+  out << "== " << title_ << " ==\n";
+  std::vector<std::string> header{"workload"};
+  for (const auto& s : series_) {
+    for (const auto& c : components_) header.push_back(s + ":" + c);
+    header.push_back(s + ":total");
+  }
+  TextTable table(header);
+  for (const Row& r : rows_) {
+    std::vector<std::string> row{r.workload};
+    for (const Stack& s : r.stacks) {
+      for (double part : s.parts) row.push_back(TextTable::fmt(part));
+      row.push_back(TextTable::fmt(s.total()));
+    }
+    table.add_row(row);
+  }
+  for (const char* mean : {"G-Mean", "A-Mean"}) {
+    std::vector<std::string> row{mean};
+    const bool geo = std::string_view(mean) == "G-Mean";
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      for (std::size_t c = 0; c < components_.size(); ++c) row.emplace_back("-");
+      row.push_back(TextTable::fmt(geo ? geomean_total(s) : amean_total(s)));
+    }
+    table.add_row(row);
+  }
+  out << table.to_string();
+}
+
+void FigureTable::print_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  std::vector<std::string> header{"workload"};
+  for (const auto& s : series_) {
+    for (const auto& c : components_) header.push_back(s + ":" + c);
+    header.push_back(s + ":total");
+  }
+  csv.write_row(header);
+  for (const Row& r : rows_) {
+    std::vector<std::string> row{r.workload};
+    for (const Stack& s : r.stacks) {
+      for (double part : s.parts) row.push_back(TextTable::fmt(part, 6));
+      row.push_back(TextTable::fmt(s.total(), 6));
+    }
+    csv.write_row(row);
+  }
+}
+
+void print_memory_characteristics(std::ostream& out,
+                                  const mem::MemTechnology& dram,
+                                  const mem::MemTechnology& nvm) {
+  out << "Memory characteristics (Table IV):\n";
+  TextTable table({"memory", "latency r/w (ns)", "power r/w (nJ)",
+                   "static power (J/GB.s)"});
+  auto row = [&](const mem::MemTechnology& t) {
+    table.add_row({t.name,
+                   TextTable::fmt(t.read_latency_ns, 0) + "/" +
+                       TextTable::fmt(t.write_latency_ns, 0),
+                   TextTable::fmt(t.read_energy_nj, 1) + "/" +
+                       TextTable::fmt(t.write_energy_nj, 1),
+                   TextTable::fmt(t.static_power_j_per_gb_s, 2)});
+  };
+  row(dram);
+  row(nvm);
+  out << table.to_string();
+}
+
+}  // namespace hymem::sim

@@ -1,0 +1,63 @@
+// Figure-shaped reporting: normalized stacked breakdowns per workload with
+// the paper's G-Mean / A-Mean summary rows, rendered as text and CSV.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "model/model_params.hpp"
+
+namespace hymem::sim {
+
+/// One stacked bar: named components summing to the bar total.
+struct Stack {
+  std::vector<double> parts;  // same order as FigureTable's component names
+
+  double total() const;
+};
+
+/// Accumulates per-workload stacked bars (possibly several bars per
+/// workload, e.g. CLOCK-DWF vs proposed) and renders a paper-figure-shaped
+/// table with G-Mean and A-Mean rows over each bar column's totals.
+class FigureTable {
+ public:
+  /// `components` are the stack part names (e.g. {"static","dynamic",
+  /// "migration"}); `series` are the bar names per workload (e.g.
+  /// {"clock-dwf","two-lru"}).
+  FigureTable(std::string title, std::vector<std::string> components,
+              std::vector<std::string> series);
+
+  /// Adds one workload row: `stacks` has one Stack per series.
+  void add(const std::string& workload, const std::vector<Stack>& stacks);
+
+  /// Renders: header, one row per workload with per-component columns and a
+  /// total per series, then G-Mean/A-Mean rows over totals.
+  void print(std::ostream& out) const;
+
+  /// Machine-readable dump of the same data.
+  void print_csv(std::ostream& out) const;
+
+  /// Geometric mean of one series' totals.
+  double geomean_total(std::size_t series_index) const;
+  /// Arithmetic mean of one series' totals.
+  double amean_total(std::size_t series_index) const;
+
+ private:
+  struct Row {
+    std::string workload;
+    std::vector<Stack> stacks;
+  };
+
+  std::string title_;
+  std::vector<std::string> components_;
+  std::vector<std::string> series_;
+  std::vector<Row> rows_;
+};
+
+/// Prints the Table IV memory-characteristics header every bench leads with.
+void print_memory_characteristics(std::ostream& out,
+                                  const mem::MemTechnology& dram,
+                                  const mem::MemTechnology& nvm);
+
+}  // namespace hymem::sim

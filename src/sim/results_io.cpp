@@ -1,0 +1,148 @@
+#include "sim/results_io.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace hymem::sim {
+
+namespace {
+
+/// Minimal JSON emitter — enough for flat objects of numbers and strings.
+class JsonObject {
+ public:
+  explicit JsonObject(std::ostream& out, int indent = 0)
+      : out_(out), indent_(indent) {
+    out_ << "{";
+  }
+
+  void field(const std::string& key, const std::string& value) {
+    prefix(key);
+    out_ << '"' << escape(value) << '"';
+  }
+  void field(const std::string& key, double value) {
+    prefix(key);
+    out_ << std::setprecision(12) << value;
+  }
+  void field(const std::string& key, std::uint64_t value) {
+    prefix(key);
+    out_ << value;
+  }
+  /// Opens a nested object; the caller must close it before continuing.
+  void raw_field(const std::string& key) { prefix(key); }
+
+  void close() {
+    out_ << '\n';
+    pad(indent_);
+    out_ << "}";
+  }
+
+ private:
+  void pad(int n) {
+    for (int i = 0; i < n; ++i) out_ << ' ';
+  }
+  void prefix(const std::string& key) {
+    if (!first_) out_ << ',';
+    first_ = false;
+    out_ << '\n';
+    pad(indent_ + 2);
+    out_ << '"' << escape(key) << "\": ";
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::ostream& out_;
+  int indent_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_json(const RunResult& result, std::ostream& out) {
+  const auto amat = result.amat();
+  const auto power = result.appr();
+  const auto writes = result.nvm_writes();
+  const auto& c = result.counts;
+
+  JsonObject root(out, 0);
+  root.field("workload", result.workload);
+  root.field("policy", result.policy);
+  root.field("accesses", result.accesses);
+  root.field("duration_s", result.duration_s);
+
+  root.raw_field("counts");
+  {
+    JsonObject counts(out, 2);
+    counts.field("dram_read_hits", c.dram_read_hits);
+    counts.field("dram_write_hits", c.dram_write_hits);
+    counts.field("nvm_read_hits", c.nvm_read_hits);
+    counts.field("nvm_write_hits", c.nvm_write_hits);
+    counts.field("page_faults", c.page_faults);
+    counts.field("fills_to_dram", c.fills_to_dram);
+    counts.field("fills_to_nvm", c.fills_to_nvm);
+    counts.field("migrations_to_dram", c.migrations_to_dram);
+    counts.field("migrations_to_nvm", c.migrations_to_nvm);
+    counts.field("dirty_evictions", c.dirty_evictions);
+    counts.field("page_factor", c.page_factor);
+    counts.close();
+  }
+
+  root.raw_field("amat_ns");
+  {
+    JsonObject a(out, 2);
+    a.field("hit", amat.hit_ns);
+    a.field("fault", amat.fault_ns);
+    a.field("migration", amat.migration_ns);
+    a.field("total", amat.total());
+    a.close();
+  }
+
+  root.raw_field("appr_nj");
+  {
+    JsonObject p(out, 2);
+    p.field("static", power.static_nj);
+    p.field("hit", power.hit_nj);
+    p.field("fault_fill", power.fault_fill_nj);
+    p.field("migration", power.migration_nj);
+    p.field("total", power.total());
+    p.close();
+  }
+
+  root.raw_field("nvm_writes");
+  {
+    JsonObject w(out, 2);
+    w.field("demand", writes.demand_writes);
+    w.field("fault_fill", writes.fault_fill_writes);
+    w.field("migration", writes.migration_writes);
+    w.field("total", writes.total());
+    w.close();
+  }
+  root.close();
+}
+
+void write_json(const std::vector<RunResult>& results, std::ostream& out) {
+  out << "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i) out << ",";
+    out << "\n";
+    write_json(results[i], out);
+  }
+  out << "\n]\n";
+}
+
+std::string to_json(const RunResult& result) {
+  std::ostringstream os;
+  write_json(result, os);
+  return os.str();
+}
+
+}  // namespace hymem::sim

@@ -1,0 +1,24 @@
+// Result serialization: RunResult -> JSON, so external tooling (plotting,
+// regression tracking, notebooks) can consume simulation output without
+// scraping the text tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace hymem::sim {
+
+/// Writes one result as a JSON object: identification, raw event counts,
+/// and the derived Eq. 1/2/3 breakdowns. Deterministic field order.
+void write_json(const RunResult& result, std::ostream& out);
+
+/// Writes several results as a JSON array.
+void write_json(const std::vector<RunResult>& results, std::ostream& out);
+
+/// Convenience: the JSON text of one result.
+std::string to_json(const RunResult& result);
+
+}  // namespace hymem::sim

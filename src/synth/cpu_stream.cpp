@@ -1,0 +1,76 @@
+#include "synth/cpu_stream.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+#include "util/zipf.hpp"
+
+namespace hymem::synth {
+
+trace::Trace generate_cpu_stream(const CpuStreamOptions& options) {
+  HYMEM_CHECK(options.cores > 0);
+  HYMEM_CHECK(options.stride > 0);
+  HYMEM_CHECK(options.private_bytes >= options.stride);
+  HYMEM_CHECK(options.interleave_burst > 0);
+
+  const std::uint64_t private_lines = options.private_bytes / options.stride;
+  const std::uint64_t shared_lines =
+      options.shared_bytes > 0 ? options.shared_bytes / options.stride : 0;
+
+  struct CoreState {
+    Rng rng{0};
+    Addr cursor = 0;  // current sequential position (line index, private)
+    std::uint64_t emitted = 0;
+  };
+
+  Rng seeder(options.seed);
+  std::vector<CoreState> cores(options.cores);
+  for (auto& c : cores) {
+    c.rng = seeder.split();
+    c.cursor = c.rng.next_below(private_lines);
+  }
+
+  ZipfSampler jump_zipf(private_lines, options.jump_zipf_alpha);
+
+  trace::Trace out("cpu-stream");
+  out.reserve(options.cores * options.accesses_per_core);
+
+  auto private_base = [&](unsigned core) {
+    return options.shared_bytes +
+           static_cast<std::uint64_t>(core) * options.private_bytes;
+  };
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(options.cores) * options.accesses_per_core;
+  std::uint64_t emitted = 0;
+  while (emitted < total) {
+    for (unsigned c = 0; c < options.cores; ++c) {
+      auto& core = cores[c];
+      for (std::uint64_t b = 0;
+           b < options.interleave_burst && core.emitted < options.accesses_per_core;
+           ++b) {
+        Addr addr;
+        if (shared_lines > 0 && core.rng.next_bool(options.shared_fraction)) {
+          addr = core.rng.next_below(shared_lines) * options.stride;
+        } else {
+          if (core.rng.next_bool(options.run_continue)) {
+            core.cursor = (core.cursor + 1) % private_lines;
+          } else {
+            core.cursor = jump_zipf.sample(core.rng);
+          }
+          addr = private_base(c) + core.cursor * options.stride;
+        }
+        const AccessType type = core.rng.next_bool(options.write_fraction)
+                                    ? AccessType::kWrite
+                                    : AccessType::kRead;
+        out.append(addr, type, static_cast<std::uint8_t>(c));
+        ++core.emitted;
+        ++emitted;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hymem::synth

@@ -1,0 +1,37 @@
+// CPU-level (pre-cache) access stream generator.
+//
+// The paper obtains main-memory traces by running PARSEC inside the COTSon
+// full-system simulator (quad core, two cache levels — Table II). The
+// cachesim substrate replays CPU-level streams through that hierarchy; this
+// generator produces such streams: per-core private regions with sequential
+// runs and Zipf-skewed jumps, plus a shared region that exercises the
+// coherence protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace hymem::synth {
+
+/// Parameters of a multi-core CPU-level stream.
+struct CpuStreamOptions {
+  unsigned cores = 4;
+  std::uint64_t accesses_per_core = 250000;
+  std::uint64_t private_bytes = 8u << 20;  ///< Per-core private region size.
+  std::uint64_t shared_bytes = 4u << 20;   ///< Shared region size.
+  double shared_fraction = 0.1;   ///< Probability an access hits the shared region.
+  double write_fraction = 0.3;    ///< Probability an access is a write.
+  double run_continue = 0.7;      ///< Probability of continuing a sequential run.
+  std::uint64_t stride = 64;      ///< Sequential run stride (bytes).
+  double jump_zipf_alpha = 0.8;   ///< Skew of random jump targets.
+  std::uint64_t seed = 7;
+  std::uint64_t interleave_burst = 4;  ///< Consecutive accesses per core turn.
+};
+
+/// Generates a round-robin interleaved multi-core stream. Address layout:
+/// shared region at [0, shared_bytes), core c's private region follows at
+/// shared_bytes + c * private_bytes.
+trace::Trace generate_cpu_stream(const CpuStreamOptions& options);
+
+}  // namespace hymem::synth

@@ -1,0 +1,61 @@
+#include "trace/phase_detect.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace hymem::trace {
+
+PhaseDetector::PhaseDetector(std::uint64_t page_size,
+                             const PhaseDetectorConfig& config)
+    : page_size_(page_size), config_(config) {
+  HYMEM_CHECK(page_size > 0);
+  HYMEM_CHECK_MSG(config.window_accesses > 0, "window must be positive");
+  HYMEM_CHECK_MSG(config.signature_bits >= 64 &&
+                      config.signature_bits % 64 == 0,
+                  "signature width must be a positive multiple of 64");
+  HYMEM_CHECK(config.similarity_threshold >= 0.0 &&
+              config.similarity_threshold <= 1.0);
+  current_.assign(config.signature_bits / 64, 0);
+  previous_.assign(config.signature_bits / 64, 0);
+}
+
+double PhaseDetector::jaccard(const std::vector<std::uint64_t>& a,
+                              const std::vector<std::uint64_t>& b) {
+  HYMEM_CHECK(a.size() == b.size());
+  std::uint64_t inter = 0, uni = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    inter += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+    uni += static_cast<std::uint64_t>(std::popcount(a[i] | b[i]));
+  }
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+void PhaseDetector::close_window() {
+  if (have_previous_) {
+    last_similarity_ = jaccard(current_, previous_);
+    if (last_similarity_ < config_.similarity_threshold) {
+      boundaries_.push_back(accesses_);
+    }
+  }
+  previous_ = current_;
+  have_previous_ = true;
+  std::fill(current_.begin(), current_.end(), 0);
+  in_window_ = 0;
+}
+
+void PhaseDetector::observe(Addr addr) {
+  const PageId page = page_of(addr, page_size_);
+  std::uint64_t h = page;
+  const std::uint64_t bit = splitmix64(h) % (current_.size() * 64);
+  current_[bit / 64] |= 1ULL << (bit % 64);
+  ++accesses_;
+  if (++in_window_ >= config_.window_accesses) close_window();
+}
+
+void PhaseDetector::observe(const Trace& trace) {
+  for (const auto& a : trace) observe(a.addr);
+}
+
+}  // namespace hymem::trace

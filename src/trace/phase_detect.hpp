@@ -1,0 +1,65 @@
+// Working-set phase detection.
+//
+// The migration-hostile workloads of the paper (canneal, fluidanimate,
+// raytrace, vips) are hostile precisely because their active sets *shift*:
+// pages migrate to DRAM and the phase moves on. This detector makes those
+// shifts measurable: it hashes each window's touched-page set into a fixed
+// signature and declares a phase boundary when consecutive signatures'
+// Jaccard similarity drops below a threshold (the classic working-set
+// signature technique of Dhodapkar & Smith).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hymem::trace {
+
+/// Detector tunables.
+struct PhaseDetectorConfig {
+  std::uint64_t window_accesses = 4096;  ///< Accesses per signature window.
+  std::uint32_t signature_bits = 1024;   ///< Signature bitmap width.
+  double similarity_threshold = 0.5;     ///< Below this = phase boundary.
+};
+
+/// Streaming phase detector over page accesses.
+class PhaseDetector {
+ public:
+  explicit PhaseDetector(std::uint64_t page_size,
+                         const PhaseDetectorConfig& config = {});
+
+  /// Feeds one access.
+  void observe(Addr addr);
+  /// Feeds a whole trace.
+  void observe(const Trace& trace);
+
+  /// Access indices where a phase boundary was declared.
+  const std::vector<std::uint64_t>& boundaries() const { return boundaries_; }
+  /// Number of phases seen so far (boundaries + 1).
+  std::uint64_t phase_count() const { return boundaries_.size() + 1; }
+  /// Jaccard similarity of the two most recent completed windows
+  /// (1.0 before two windows completed).
+  double last_similarity() const { return last_similarity_; }
+  std::uint64_t accesses() const { return accesses_; }
+
+  /// Jaccard similarity of two equal-width bitmaps (|and| / |or|; 1.0 when
+  /// both are empty). Exposed for tests.
+  static double jaccard(const std::vector<std::uint64_t>& a,
+                        const std::vector<std::uint64_t>& b);
+
+ private:
+  void close_window();
+
+  std::uint64_t page_size_;
+  PhaseDetectorConfig config_;
+  std::vector<std::uint64_t> current_;   // signature being filled
+  std::vector<std::uint64_t> previous_;  // last completed signature
+  bool have_previous_ = false;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t in_window_ = 0;
+  double last_similarity_ = 1.0;
+  std::vector<std::uint64_t> boundaries_;
+};
+
+}  // namespace hymem::trace

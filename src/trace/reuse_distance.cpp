@@ -1,0 +1,90 @@
+#include "trace/reuse_distance.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hymem::trace {
+
+namespace {
+constexpr std::uint64_t kCold = std::numeric_limits<std::uint64_t>::max();
+}
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(std::uint64_t page_size,
+                                             std::size_t capacity_hint)
+    : page_size_(page_size) {
+  HYMEM_CHECK(page_size > 0);
+  if (capacity_hint) {
+    bit_.reserve(capacity_hint + 1);
+    distances_.reserve(capacity_hint);
+  }
+}
+
+void ReuseDistanceAnalyzer::bit_add(std::size_t pos, std::int64_t delta) {
+  for (std::size_t i = pos + 1; i < bit_.size(); i += i & (~i + 1)) {
+    bit_[i] += delta;
+  }
+}
+
+std::int64_t ReuseDistanceAnalyzer::bit_sum(std::size_t pos) const {
+  std::int64_t s = 0;
+  for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) s += bit_[i];
+  return s;
+}
+
+std::uint64_t ReuseDistanceAnalyzer::observe(Addr addr) {
+  const PageId page = page_of(addr, page_size_);
+  const std::uint64_t slot = time_++;
+  // Grow the Fenwick tree (1-indexed internally). A plain resize would
+  // corrupt the tree (new nodes must hold range sums), so grow by doubling
+  // and rebuild from the live marks — amortized O(log n) per access.
+  if (time_ + 1 > bit_.size()) {
+    std::size_t cap = bit_.size() < 64 ? 64 : (bit_.size() - 1) * 2;
+    while (cap < time_ + 1) cap *= 2;
+    bit_.assign(cap + 1, 0);
+    for (const auto& [p, s] : last_slot_) {
+      bit_add(static_cast<std::size_t>(s), +1);
+    }
+  }
+  std::uint64_t distance = kCold;
+  const auto it = last_slot_.find(page);
+  if (it != last_slot_.end()) {
+    const std::uint64_t prev = it->second;
+    // Marked slots strictly after prev = distinct pages touched since.
+    const std::int64_t newer =
+        bit_sum(static_cast<std::size_t>(slot == 0 ? 0 : slot - 1)) -
+        bit_sum(static_cast<std::size_t>(prev));
+    distance = static_cast<std::uint64_t>(newer);
+    bit_add(static_cast<std::size_t>(prev), -1);
+    hist_.add(distance);
+  } else {
+    ++cold_;
+  }
+  bit_add(static_cast<std::size_t>(slot), +1);
+  last_slot_[page] = slot;
+  distances_.push_back(distance);
+  return distance;
+}
+
+void ReuseDistanceAnalyzer::observe(const Trace& trace) {
+  for (const auto& a : trace) observe(a.addr);
+}
+
+double ReuseDistanceAnalyzer::lru_hit_ratio(std::uint64_t capacity_pages) const {
+  if (distances_.empty()) return 0.0;
+  std::uint64_t hits = 0;
+  for (std::uint64_t d : distances_) {
+    if (d != kCold && d < capacity_pages) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(distances_.size());
+}
+
+std::vector<double> ReuseDistanceAnalyzer::miss_ratio_curve(
+    const std::vector<std::uint64_t>& capacities) const {
+  std::vector<double> curve;
+  curve.reserve(capacities.size());
+  for (std::uint64_t c : capacities) curve.push_back(1.0 - lru_hit_ratio(c));
+  return curve;
+}
+
+}  // namespace hymem::trace

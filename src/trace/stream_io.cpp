@@ -1,0 +1,116 @@
+#include "trace/stream_io.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hymem::trace {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'H', 'Y', 'T', 'S'};
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T take(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("hymem stream trace: truncated input");
+  return value;
+}
+
+}  // namespace
+
+StreamTraceWriter::StreamTraceWriter(std::ostream& out, std::string name,
+                                     std::size_t chunk_records)
+    : out_(out), chunk_records_(chunk_records) {
+  HYMEM_CHECK_MSG(chunk_records > 0, "chunk size must be positive");
+  out_.write(kMagic.data(), kMagic.size());
+  put<std::uint32_t>(out_, kStreamFormatVersion);
+  put<std::uint32_t>(out_, static_cast<std::uint32_t>(name.size()));
+  out_.write(name.data(), static_cast<std::streamsize>(name.size()));
+  pending_.reserve(chunk_records);
+}
+
+StreamTraceWriter::~StreamTraceWriter() {
+  if (!finished_) finish();
+}
+
+void StreamTraceWriter::flush_chunk() {
+  if (pending_.empty()) return;
+  put<std::uint32_t>(out_, static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& a : pending_) {
+    put<std::uint64_t>(out_, a.addr);
+    put<std::uint8_t>(out_, static_cast<std::uint8_t>(a.type));
+    put<std::uint8_t>(out_, a.core);
+  }
+  pending_.clear();
+}
+
+void StreamTraceWriter::append(const MemAccess& access) {
+  HYMEM_CHECK_MSG(!finished_, "append after finish");
+  pending_.push_back(access);
+  ++written_;
+  if (pending_.size() >= chunk_records_) flush_chunk();
+}
+
+void StreamTraceWriter::finish() {
+  if (finished_) return;
+  flush_chunk();
+  put<std::uint32_t>(out_, 0);  // terminator
+  finished_ = true;
+}
+
+StreamTraceReader::StreamTraceReader(std::istream& in) : in_(in) {
+  std::array<char, 4> magic{};
+  in_.read(magic.data(), magic.size());
+  if (!in_ || magic != kMagic) {
+    throw std::runtime_error("hymem stream trace: bad magic");
+  }
+  const auto version = take<std::uint32_t>(in_);
+  if (version != kStreamFormatVersion) {
+    throw std::runtime_error("hymem stream trace: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto name_len = take<std::uint32_t>(in_);
+  name_.resize(name_len);
+  in_.read(name_.data(), name_len);
+  if (!in_) throw std::runtime_error("hymem stream trace: truncated name");
+}
+
+bool StreamTraceReader::load_chunk() {
+  const auto count = take<std::uint32_t>(in_);
+  if (count == 0) {
+    done_ = true;
+    return false;
+  }
+  chunk_.clear();
+  chunk_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto addr = take<std::uint64_t>(in_);
+    const auto type = take<std::uint8_t>(in_);
+    const auto core = take<std::uint8_t>(in_);
+    if (type > 1) throw std::runtime_error("hymem stream trace: bad type");
+    chunk_.push_back({addr, static_cast<AccessType>(type), core});
+  }
+  cursor_ = 0;
+  return true;
+}
+
+std::optional<MemAccess> StreamTraceReader::next() {
+  if (done_) return std::nullopt;
+  if (cursor_ >= chunk_.size() && !load_chunk()) return std::nullopt;
+  ++read_;
+  return chunk_[cursor_++];
+}
+
+}  // namespace hymem::trace

@@ -1,0 +1,77 @@
+// Streaming trace I/O for traces too large to materialize.
+//
+// Chunked binary format (little-endian):
+//   magic "HYTS" | u32 version | u32 name_len | name |
+//   repeated chunks: u32 record_count | record_count * {u64 addr|u8 type|u8 core}
+//   terminated by a chunk with record_count == 0.
+//
+// Unlike trace_io's monolithic format, a writer never needs to know the
+// total record count up front (no seeking), and a reader holds only one
+// chunk in memory — so multi-billion-access captures stream through
+// constant memory.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace hymem::trace {
+
+inline constexpr std::uint32_t kStreamFormatVersion = 1;
+
+/// Appends records to a chunked stream; finish() writes the terminator.
+class StreamTraceWriter {
+ public:
+  /// `chunk_records` bounds both buffering and reader memory.
+  StreamTraceWriter(std::ostream& out, std::string name,
+                    std::size_t chunk_records = 1 << 16);
+  ~StreamTraceWriter();
+  StreamTraceWriter(const StreamTraceWriter&) = delete;
+  StreamTraceWriter& operator=(const StreamTraceWriter&) = delete;
+
+  void append(const MemAccess& access);
+  std::uint64_t written() const { return written_; }
+
+  /// Flushes the pending chunk and writes the terminator. Idempotent;
+  /// called by the destructor if forgotten.
+  void finish();
+
+ private:
+  void flush_chunk();
+
+  std::ostream& out_;
+  std::size_t chunk_records_;
+  std::vector<MemAccess> pending_;
+  std::uint64_t written_ = 0;
+  bool finished_ = false;
+};
+
+/// Pulls records one at a time from a chunked stream.
+class StreamTraceReader {
+ public:
+  /// Parses the header; throws std::runtime_error on malformed input.
+  explicit StreamTraceReader(std::istream& in);
+
+  const std::string& name() const { return name_; }
+
+  /// Next record, or nullopt at the terminator.
+  std::optional<MemAccess> next();
+
+  std::uint64_t read_count() const { return read_; }
+
+ private:
+  bool load_chunk();
+
+  std::istream& in_;
+  std::string name_;
+  std::vector<MemAccess> chunk_;
+  std::size_t cursor_ = 0;
+  std::uint64_t read_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace hymem::trace

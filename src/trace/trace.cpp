@@ -1,0 +1,15 @@
+#include "trace/trace.hpp"
+
+namespace hymem::trace {
+
+std::uint64_t Trace::read_count() const {
+  std::uint64_t n = 0;
+  for (const auto& a : accesses_) n += (a.type == AccessType::kRead);
+  return n;
+}
+
+std::uint64_t Trace::write_count() const {
+  return size() - read_count();
+}
+
+}  // namespace hymem::trace

@@ -1,0 +1,49 @@
+// In-memory access trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace hymem::trace {
+
+/// A sequence of memory requests plus the metadata needed to interpret it.
+///
+/// Traces are the interchange format between the synthetic generator, the
+/// cache-hierarchy filter, and the hybrid-memory simulator.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void reserve(std::size_t n) { accesses_.reserve(n); }
+  void append(MemAccess a) { accesses_.push_back(a); }
+  void append(Addr addr, AccessType type, std::uint8_t core = 0) {
+    accesses_.push_back({addr, type, core});
+  }
+
+  bool empty() const { return accesses_.empty(); }
+  std::size_t size() const { return accesses_.size(); }
+  const MemAccess& operator[](std::size_t i) const { return accesses_[i]; }
+
+  std::span<const MemAccess> accesses() const { return accesses_; }
+
+  auto begin() const { return accesses_.begin(); }
+  auto end() const { return accesses_.end(); }
+
+  /// Number of read / write requests.
+  std::uint64_t read_count() const;
+  std::uint64_t write_count() const;
+
+ private:
+  std::string name_;
+  std::vector<MemAccess> accesses_;
+};
+
+}  // namespace hymem::trace

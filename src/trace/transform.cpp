@@ -1,0 +1,67 @@
+#include "trace/transform.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace hymem::trace {
+
+Trace to_page_trace(const Trace& in, std::uint64_t page_size) {
+  HYMEM_CHECK(page_size > 0);
+  Trace out(in.name());
+  out.reserve(in.size());
+  for (const auto& a : in) {
+    out.append(page_of(a.addr, page_size) * page_size, a.type, a.core);
+  }
+  return out;
+}
+
+Trace interleave(std::span<const Trace* const> sources, std::size_t burst_len,
+                 std::string name) {
+  HYMEM_CHECK(burst_len > 0);
+  Trace out(std::move(name));
+  std::size_t total = 0;
+  std::vector<std::size_t> cursor(sources.size(), 0);
+  for (const Trace* t : sources) {
+    HYMEM_CHECK(t != nullptr);
+    total += t->size();
+  }
+  out.reserve(total);
+  std::size_t emitted = 0;
+  while (emitted < total) {
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const Trace& src = *sources[s];
+      for (std::size_t b = 0; b < burst_len && cursor[s] < src.size(); ++b) {
+        out.append(src[cursor[s]++]);
+        ++emitted;
+      }
+    }
+  }
+  return out;
+}
+
+Trace downsample(const Trace& in, std::uint64_t stride, std::uint64_t offset) {
+  HYMEM_CHECK(stride > 0);
+  Trace out(in.name());
+  out.reserve(in.size() / stride + 1);
+  for (std::uint64_t i = offset; i < in.size(); i += stride) {
+    out.append(in[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Trace densify_pages(const Trace& in, std::uint64_t page_size) {
+  HYMEM_CHECK(page_size > 0);
+  Trace out(in.name());
+  out.reserve(in.size());
+  std::unordered_map<PageId, PageId> remap;
+  for (const auto& a : in) {
+    const PageId page = page_of(a.addr, page_size);
+    const auto [it, inserted] = remap.try_emplace(page, remap.size());
+    const Addr offset_in_page = a.addr % page_size;
+    out.append(it->second * page_size + offset_in_page, a.type, a.core);
+  }
+  return out;
+}
+
+}  // namespace hymem::trace

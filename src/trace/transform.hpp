@@ -1,0 +1,34 @@
+// Trace transformations: page-granularity projection, multi-trace
+// interleaving (to emulate co-scheduled workloads), and deterministic
+// downsampling (to run paper-sized experiments at a reduced scale).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hymem::trace {
+
+/// Projects a byte-address trace onto page granularity: every access address
+/// becomes its page base address. Preserves order, types and cores.
+Trace to_page_trace(const Trace& in, std::uint64_t page_size);
+
+/// Round-robin interleaves several traces with the given burst length
+/// (requests taken from each source per turn). Sources are drained fully;
+/// shorter traces simply drop out of the rotation.
+Trace interleave(std::span<const Trace* const> sources, std::size_t burst_len,
+                 std::string name);
+
+/// Keeps every `stride`-th access starting at `offset` (deterministic
+/// systematic sampling; preserves the read/write mix in expectation and the
+/// relative page popularity exactly for large traces).
+Trace downsample(const Trace& in, std::uint64_t stride, std::uint64_t offset = 0);
+
+/// Remaps page numbers to a dense 0..N-1 space (first-touch order), which
+/// keeps simulator memory proportional to footprint regardless of the
+/// original address layout.
+Trace densify_pages(const Trace& in, std::uint64_t page_size);
+
+}  // namespace hymem::trace

@@ -1,0 +1,29 @@
+// Lightweight runtime checking. HYMEM_CHECK is always on (these simulators
+// are correctness-first); violations throw so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hymem::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "HYMEM_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace hymem::detail
+
+#define HYMEM_CHECK(expr)                                                    \
+  do {                                                                       \
+    if (!(expr)) ::hymem::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define HYMEM_CHECK_MSG(expr, msg)                                             \
+  do {                                                                         \
+    if (!(expr)) ::hymem::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,25 @@
+// Minimal CSV emission so bench harnesses can dump machine-readable series
+// next to the human-readable tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hymem {
+
+/// Streams RFC-4180-ish CSV rows (quotes fields containing , " or newline).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Escapes one field per RFC 4180.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace hymem

@@ -1,0 +1,58 @@
+#include "util/histogram.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hymem {
+
+std::size_t Log2Histogram::bucket_index(std::uint64_t value) {
+  if (value == 0) return 0;
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Log2Histogram::bucket_lo(std::size_t idx) {
+  if (idx == 0) return 0;
+  return 1ULL << (idx - 1);
+}
+
+std::uint64_t Log2Histogram::bucket_hi(std::size_t idx) {
+  if (idx == 0) return 0;
+  if (idx >= 64) return ~0ULL;
+  return (1ULL << idx) - 1;
+}
+
+void Log2Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  const std::size_t idx = bucket_index(value);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Log2Histogram::bucket(std::size_t idx) const {
+  return idx < counts_.size() ? counts_[idx] : 0;
+}
+
+std::uint64_t Log2Histogram::quantile_upper_bound(double p) const {
+  HYMEM_CHECK(p >= 0.0 && p <= 1.0);
+  if (total_ == 0) return 0;
+  const double target = p * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) return bucket_hi(i);
+  }
+  return bucket_hi(counts_.size() - 1);
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    os << bucket_lo(i) << ".." << bucket_hi(i) << " : " << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hymem

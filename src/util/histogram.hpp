@@ -1,0 +1,40 @@
+// Power-of-two bucketed histogram for long-tailed quantities (reuse
+// distances, per-page access counts, burst lengths).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hymem {
+
+/// Histogram over uint64 values with buckets [0], [1], [2,3], [4,7], ...
+/// Bucket index 0 holds the value 0; bucket k>=1 holds [2^(k-1), 2^k - 1].
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t idx) const;
+
+  /// Lower bound of bucket idx.
+  static std::uint64_t bucket_lo(std::size_t idx);
+  /// Inclusive upper bound of bucket idx.
+  static std::uint64_t bucket_hi(std::size_t idx);
+  /// Bucket index a value falls in.
+  static std::size_t bucket_index(std::uint64_t value);
+
+  /// Smallest value v such that at least fraction p of the mass is <= hi(v)'s
+  /// bucket; returns the bucket upper bound (coarse quantile).
+  std::uint64_t quantile_upper_bound(double p) const;
+
+  /// Multi-line "lo..hi : count" dump for reports.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hymem

@@ -1,0 +1,141 @@
+// Intrusive doubly-linked list used for the LRU/CLOCK queues.
+//
+// The migration policies move pages between queue positions on every access;
+// an intrusive list gives O(1) splice/erase with zero allocation per
+// operation, and — crucially for the proposed scheme — stable node addresses
+// so per-page metadata can live next to the link fields.
+#pragma once
+
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace hymem {
+
+/// Embed one of these in your node type.
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+
+  bool is_linked() const { return prev != nullptr; }
+};
+
+/// Intrusive list over T, where T derives from (or contains as first member)
+/// ListHook reachable via HookOf. Head = most-recently-used by convention.
+template <typename T, ListHook T::* Hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+  }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+  std::size_t size() const { return size_; }
+
+  /// Inserts node at the front (MRU position). Node must be unlinked.
+  void push_front(T& node) {
+    ListHook& h = node.*Hook;
+    HYMEM_CHECK_MSG(!h.is_linked(), "node already linked");
+    insert_after(&sentinel_, &h);
+    ++size_;
+  }
+
+  /// Inserts node at the back (LRU position). Node must be unlinked.
+  void push_back(T& node) {
+    ListHook& h = node.*Hook;
+    HYMEM_CHECK_MSG(!h.is_linked(), "node already linked");
+    insert_after(sentinel_.prev, &h);
+    ++size_;
+  }
+
+  /// Inserts `node` immediately before `pos` (pos must be linked here).
+  void insert_before(T& pos, T& node) {
+    ListHook& h = node.*Hook;
+    HYMEM_CHECK_MSG(!h.is_linked(), "node already linked");
+    insert_after((pos.*Hook).prev, &h);
+    ++size_;
+  }
+
+  /// Unlinks node from the list.
+  void erase(T& node) {
+    ListHook& h = node.*Hook;
+    HYMEM_CHECK_MSG(h.is_linked(), "node not linked");
+    h.prev->next = h.next;
+    h.next->prev = h.prev;
+    h.prev = nullptr;
+    h.next = nullptr;
+    --size_;
+  }
+
+  /// Moves an already-linked node to the front.
+  void move_to_front(T& node) {
+    erase(node);
+    push_front(node);
+  }
+
+  /// Moves an already-linked node to the back.
+  void move_to_back(T& node) {
+    erase(node);
+    push_back(node);
+  }
+
+  T* front() { return empty() ? nullptr : owner(sentinel_.next); }
+  T* back() { return empty() ? nullptr : owner(sentinel_.prev); }
+  const T* front() const { return empty() ? nullptr : owner(sentinel_.next); }
+  const T* back() const { return empty() ? nullptr : owner(sentinel_.prev); }
+
+  /// Node after `node` (towards LRU end), or nullptr at the end.
+  T* next(T& node) {
+    ListHook* n = (node.*Hook).next;
+    return n == &sentinel_ ? nullptr : owner(n);
+  }
+
+  /// Node before `node` (towards MRU end), or nullptr at the front.
+  T* prev(T& node) {
+    ListHook* p = (node.*Hook).prev;
+    return p == &sentinel_ ? nullptr : owner(p);
+  }
+
+  /// Pops and returns the back (LRU victim), or nullptr when empty.
+  T* pop_back() {
+    if (empty()) return nullptr;
+    T* victim = back();
+    erase(*victim);
+    return victim;
+  }
+
+  /// Calls fn(T&) front-to-back. fn must not mutate the list.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (ListHook* h = sentinel_.next; h != &sentinel_; h = h->next) {
+      fn(*owner(h));
+    }
+  }
+
+ private:
+  static void insert_after(ListHook* where, ListHook* h) {
+    h->prev = where;
+    h->next = where->next;
+    where->next->prev = h;
+    where->next = h;
+  }
+
+  static T* owner(ListHook* h) {
+    // Standard-layout offset computation; T must be standard-layout or the
+    // hook must be a direct member (true for all hymem node types).
+    const auto offset = reinterpret_cast<std::size_t>(
+        &(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(h) - offset);
+  }
+  static const T* owner(const ListHook* h) {
+    return owner(const_cast<ListHook*>(h));
+  }
+
+  ListHook sentinel_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hymem

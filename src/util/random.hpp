@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// We use xoshiro256** (public domain, Blackman & Vigna) seeded through
+// splitmix64 so a single 64-bit seed fully determines every experiment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hymem {
+
+/// splitmix64 step — used for seeding and as a cheap hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator, so it
+/// plugs into <random> distributions, but the samplers below avoid <random>
+/// to stay bit-reproducible across standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Geometric number of extra repetitions with continuation probability p
+  /// (i.e. returns k >= 0 with P(k) = (1-p) p^k). Used for burst lengths.
+  std::uint64_t next_geometric(double p);
+
+  /// Creates an independent stream (splits the current state).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace hymem

@@ -1,0 +1,45 @@
+// Small statistics helpers: streaming accumulators and the arithmetic /
+// geometric means the paper reports (every figure carries A-Mean and G-Mean
+// columns; averages quoted in the text are geometric means).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hymem {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Population variance.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean of a sample (0 for empty input).
+double arithmetic_mean(std::span<const double> xs);
+
+/// Geometric mean of a strictly positive sample (0 for empty input).
+/// Throws std::logic_error if any element is non-positive.
+double geometric_mean(std::span<const double> xs);
+
+/// p-quantile (0 <= p <= 1) by linear interpolation of the sorted sample.
+double quantile(std::vector<double> xs, double p);
+
+}  // namespace hymem

@@ -1,0 +1,32 @@
+// ASCII table rendering used by the benchmark harnesses to print
+// paper-figure-shaped rows (workload x metric, with mean columns).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hymem {
+
+/// Column-aligned plain-text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hymem

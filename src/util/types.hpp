@@ -1,0 +1,58 @@
+// Core vocabulary types shared by every hymem subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace hymem {
+
+/// Virtual page number. Traces are expressed in byte addresses; everything
+/// above the trace layer works in pages.
+using PageId = std::uint64_t;
+
+/// Physical frame index within one memory device.
+using FrameId = std::uint64_t;
+
+/// Byte address as it appears in a trace.
+using Addr = std::uint64_t;
+
+/// Sentinel for "no page" / "no frame".
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+inline constexpr FrameId kInvalidFrame = std::numeric_limits<FrameId>::max();
+
+/// Kind of a memory request as seen by the main memory.
+enum class AccessType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+/// Human-readable name ("read"/"write").
+constexpr std::string_view to_string(AccessType t) {
+  return t == AccessType::kRead ? "read" : "write";
+}
+
+/// The two modules of the hybrid main memory.
+enum class Tier : std::uint8_t { kDram = 0, kNvm = 1 };
+
+/// Human-readable name ("DRAM"/"NVM").
+constexpr std::string_view to_string(Tier t) {
+  return t == Tier::kDram ? "DRAM" : "NVM";
+}
+
+/// The opposite module.
+constexpr Tier other(Tier t) { return t == Tier::kDram ? Tier::kNvm : Tier::kDram; }
+
+/// Where a virtual page currently lives.
+enum class PageLocation : std::uint8_t { kDram = 0, kNvm = 1, kDisk = 2 };
+
+constexpr std::string_view to_string(PageLocation l) {
+  switch (l) {
+    case PageLocation::kDram: return "DRAM";
+    case PageLocation::kNvm: return "NVM";
+    default: return "disk";
+  }
+}
+
+constexpr PageLocation to_location(Tier t) {
+  return t == Tier::kDram ? PageLocation::kDram : PageLocation::kNvm;
+}
+
+}  // namespace hymem

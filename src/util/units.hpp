@@ -1,0 +1,32 @@
+// Unit helpers. All latencies are carried in nanoseconds and all energies in
+// nanojoules (the paper's Table IV units); powers are in watts.
+#pragma once
+
+#include <cstdint>
+
+namespace hymem {
+
+/// Nanoseconds, the simulator's latency unit.
+using Nanoseconds = double;
+/// Nanojoules, the simulator's energy unit.
+using Nanojoules = double;
+/// Watts (J/s), used for static power densities.
+using Watts = double;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Default OS page size assumed throughout the paper (Section II.A).
+inline constexpr std::uint64_t kDefaultPageSize = 4 * kKiB;
+
+/// Milliseconds to nanoseconds.
+constexpr Nanoseconds ms_to_ns(double ms) { return ms * 1e6; }
+/// Microseconds to nanoseconds.
+constexpr Nanoseconds us_to_ns(double us) { return us * 1e3; }
+/// Nanoseconds to seconds.
+constexpr double ns_to_s(Nanoseconds ns) { return ns * 1e-9; }
+/// Nanojoules to joules.
+constexpr double nj_to_j(Nanojoules nj) { return nj * 1e-9; }
+
+}  // namespace hymem

@@ -1,0 +1,117 @@
+#include "cachesim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::cachesim {
+namespace {
+
+CacheGeometry tiny_geometry() {
+  // 4 sets x 2 ways x 64B lines = 512B.
+  return {.size_bytes = 512, .associativity = 2, .line_size = 64};
+}
+
+TEST(CacheGeometry, DerivedQuantities) {
+  const auto g = tiny_geometry();
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.lines(), 8u);
+  EXPECT_EQ(g.sets(), 4u);
+}
+
+TEST(CacheGeometry, Table2Presets) {
+  EXPECT_TRUE(table2_l1().valid());
+  EXPECT_TRUE(table2_llc().valid());
+  EXPECT_EQ(table2_l1().size_bytes, 32u * 1024);
+  EXPECT_EQ(table2_l1().associativity, 4u);
+  EXPECT_EQ(table2_llc().size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(table2_llc().associativity, 16u);
+  EXPECT_EQ(table2_llc().line_size, 64u);
+}
+
+TEST(CacheGeometry, InvalidGeometriesRejected) {
+  CacheGeometry bad{.size_bytes = 500, .associativity = 2, .line_size = 64};
+  EXPECT_FALSE(bad.valid());
+  EXPECT_THROW(Cache{bad}, std::logic_error);
+}
+
+TEST(Cache, InsertAndProbe) {
+  Cache c(tiny_geometry());
+  EXPECT_EQ(c.probe(0x100), LineState::kInvalid);
+  c.insert(0x100, LineState::kExclusive);
+  EXPECT_EQ(c.probe(0x100), LineState::kExclusive);
+  EXPECT_TRUE(c.contains(0x13f));  // same 64B line
+  EXPECT_FALSE(c.contains(0x140));
+  EXPECT_EQ(c.valid_lines(), 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(tiny_geometry());
+  // Set index = (addr/64) % 4. Addresses 0, 1024, 2048 all map to set 0.
+  c.insert(0, LineState::kShared);
+  c.insert(1024, LineState::kShared);
+  c.touch(0);  // 1024 becomes LRU
+  const auto ev = c.insert(2048, LineState::kShared);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 1024u);
+  EXPECT_FALSE(ev->dirty);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(1024));
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  Cache c(tiny_geometry());
+  c.insert(0, LineState::kModified);
+  c.insert(1024, LineState::kShared);
+  const auto ev = c.insert(2048, LineState::kShared);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0u);
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, InsertPrefersInvalidWay) {
+  Cache c(tiny_geometry());
+  c.insert(0, LineState::kShared);
+  const auto ev = c.insert(1024, LineState::kShared);
+  EXPECT_FALSE(ev.has_value());
+}
+
+TEST(Cache, InvalidateReturnsPriorState) {
+  Cache c(tiny_geometry());
+  c.insert(0, LineState::kModified);
+  EXPECT_EQ(c.invalidate(0), LineState::kModified);
+  EXPECT_EQ(c.invalidate(0), LineState::kInvalid);
+  EXPECT_EQ(c.valid_lines(), 0u);
+}
+
+TEST(Cache, SetStateUpgrades) {
+  Cache c(tiny_geometry());
+  c.insert(0, LineState::kShared);
+  c.set_state(0, LineState::kModified);
+  EXPECT_EQ(c.probe(0), LineState::kModified);
+}
+
+TEST(Cache, LineOfMasksOffset) {
+  Cache c(tiny_geometry());
+  EXPECT_EQ(c.line_of(0x1234), 0x1200u);
+  EXPECT_EQ(c.line_of(0x1240), 0x1240u);
+}
+
+TEST(Cache, ErrorsOnMisuse) {
+  Cache c(tiny_geometry());
+  EXPECT_THROW(c.touch(0), std::logic_error);
+  c.insert(0, LineState::kShared);
+  EXPECT_THROW(c.insert(0, LineState::kShared), std::logic_error);
+  EXPECT_THROW(c.insert(32, LineState::kInvalid), std::logic_error);
+}
+
+TEST(Cache, DistinctSetsDoNotInterfere) {
+  Cache c(tiny_geometry());
+  // Fill set 0 beyond capacity; set 1 lines must be untouched.
+  c.insert(64, LineState::kShared);  // set 1
+  c.insert(0, LineState::kShared);
+  c.insert(1024, LineState::kShared);
+  c.insert(2048, LineState::kShared);  // evicts from set 0
+  EXPECT_TRUE(c.contains(64));
+}
+
+}  // namespace
+}  // namespace hymem::cachesim

@@ -1,0 +1,153 @@
+#include "cachesim/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/cpu_stream.hpp"
+
+namespace hymem::cachesim {
+namespace {
+
+HierarchyConfig tiny_config() {
+  HierarchyConfig c;
+  c.cores = 2;
+  c.l1d = {.size_bytes = 512, .associativity = 2, .line_size = 64};
+  c.llc = {.size_bytes = 2048, .associativity = 4, .line_size = 64};
+  return c;
+}
+
+TEST(Hierarchy, ColdReadMissGoesToMemory) {
+  Hierarchy h(tiny_config());
+  h.access({0x1000, AccessType::kRead, 0});
+  const auto& s = h.stats();
+  EXPECT_EQ(s.accesses, 1u);
+  EXPECT_EQ(s.l1_misses, 1u);
+  EXPECT_EQ(s.llc_misses, 1u);
+  EXPECT_EQ(s.memory_reads, 1u);
+  EXPECT_EQ(s.memory_writes, 0u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  Hierarchy h(tiny_config());
+  h.access({0x1000, AccessType::kRead, 0});
+  h.access({0x1010, AccessType::kRead, 0});  // same line
+  EXPECT_EQ(h.stats().l1_hits, 1u);
+  EXPECT_EQ(h.stats().memory_reads, 1u);
+}
+
+TEST(Hierarchy, WriteMakesLineModified) {
+  Hierarchy h(tiny_config());
+  h.access({0x1000, AccessType::kWrite, 0});
+  // A peer read must see a dirty intervention.
+  h.access({0x1000, AccessType::kRead, 1});
+  EXPECT_EQ(h.stats().interventions, 1u);
+}
+
+TEST(Hierarchy, PeerWriteInvalidatesSharers) {
+  Hierarchy h(tiny_config());
+  h.access({0x1000, AccessType::kRead, 0});
+  h.access({0x1000, AccessType::kRead, 1});
+  h.access({0x1000, AccessType::kWrite, 0});  // upgrade: invalidate core 1
+  EXPECT_GE(h.stats().invalidations, 1u);
+  // Core 1 must now miss in L1.
+  const auto before = h.stats().l1_misses;
+  h.access({0x1000, AccessType::kRead, 1});
+  EXPECT_EQ(h.stats().l1_misses, before + 1);
+}
+
+TEST(Hierarchy, ReadFillIsExclusiveThenSilentUpgrade) {
+  Hierarchy h(tiny_config());
+  h.access({0x1000, AccessType::kRead, 0});
+  const auto invalidations_before = h.stats().invalidations;
+  h.access({0x1000, AccessType::kWrite, 0});  // E -> M needs no bus work
+  EXPECT_EQ(h.stats().invalidations, invalidations_before);
+}
+
+TEST(Hierarchy, DirtyLlcEvictionWritesToMemory) {
+  auto cfg = tiny_config();
+  cfg.cores = 1;
+  Hierarchy h(cfg);
+  // Write a line, then stream enough distinct lines through one LLC set to
+  // evict it. LLC: 8 sets; same set every 8 lines (512B stride).
+  h.access({0, AccessType::kWrite, 0});
+  for (Addr i = 1; i <= 4; ++i) {
+    h.access({i * 512, AccessType::kRead, 0});
+  }
+  EXPECT_GE(h.stats().llc_writebacks, 1u);
+  EXPECT_GE(h.stats().memory_writes, 1u);
+}
+
+TEST(Hierarchy, InclusionInvalidatesL1OnLlcEviction) {
+  auto cfg = tiny_config();
+  cfg.cores = 1;
+  Hierarchy h(cfg);
+  h.access({0, AccessType::kRead, 0});
+  for (Addr i = 1; i <= 4; ++i) h.access({i * 512, AccessType::kRead, 0});
+  // Line 0 must have left L1 along with the LLC: re-access misses.
+  const auto misses_before = h.stats().l1_misses;
+  h.access({0, AccessType::kRead, 0});
+  EXPECT_EQ(h.stats().l1_misses, misses_before + 1);
+}
+
+TEST(Hierarchy, AccountingIdentities) {
+  Hierarchy h(HierarchyConfig{});  // Table II geometry
+  synth::CpuStreamOptions o;
+  o.cores = 4;
+  o.accesses_per_core = 5000;
+  o.private_bytes = 256 * 1024;
+  o.shared_bytes = 64 * 1024;
+  o.seed = 3;
+  const auto trace = synth::generate_cpu_stream(o);
+  h.run(trace);
+  const auto& s = h.stats();
+  EXPECT_EQ(s.accesses, trace.size());
+  EXPECT_EQ(s.l1_hits + s.l1_misses, s.accesses);
+  EXPECT_EQ(s.llc_hits + s.llc_misses, s.l1_misses);
+  EXPECT_EQ(s.memory_reads, s.llc_misses);
+  EXPECT_GT(s.l1_hit_ratio(), 0.0);
+  EXPECT_LE(s.memory_filter_ratio(), 1.0);
+}
+
+TEST(Hierarchy, FilterProducesMemoryTrace) {
+  synth::CpuStreamOptions o;
+  o.cores = 2;
+  o.accesses_per_core = 3000;
+  o.private_bytes = 128 * 1024;
+  o.shared_bytes = 0;
+  o.seed = 4;
+  const auto cpu = synth::generate_cpu_stream(o);
+  HierarchyStats stats;
+  const auto mem = Hierarchy::filter(cpu, HierarchyConfig{}, &stats);
+  EXPECT_EQ(mem.size(), stats.memory_reads + stats.memory_writes);
+  EXPECT_LT(mem.size(), cpu.size()) << "caches must filter traffic";
+  for (const auto& a : mem) EXPECT_EQ(a.addr % 64, 0u) << "line-granular";
+}
+
+TEST(Hierarchy, FilteringImprovesWithLocality) {
+  synth::CpuStreamOptions hot;
+  hot.cores = 1;
+  hot.accesses_per_core = 5000;
+  hot.private_bytes = 4 * 1024;  // fits in LLC
+  hot.shared_bytes = 0;
+  synth::CpuStreamOptions cold = hot;
+  cold.private_bytes = 1u << 22;  // far beyond LLC
+  cold.run_continue = 0.0;
+  cold.jump_zipf_alpha = 0.0;
+  HierarchyStats hs, cs;
+  Hierarchy::filter(synth::generate_cpu_stream(hot), tiny_config(), &hs);
+  Hierarchy::filter(synth::generate_cpu_stream(cold), tiny_config(), &cs);
+  EXPECT_LT(hs.memory_filter_ratio(), cs.memory_filter_ratio());
+}
+
+TEST(Hierarchy, RejectsMismatchedLineSizes) {
+  auto cfg = tiny_config();
+  cfg.llc.line_size = 128;
+  EXPECT_THROW(Hierarchy h(cfg), std::logic_error);
+}
+
+TEST(Hierarchy, RejectsOutOfRangeCore) {
+  Hierarchy h(tiny_config());
+  EXPECT_THROW(h.access({0, AccessType::kRead, 7}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::cachesim

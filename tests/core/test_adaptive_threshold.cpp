@@ -1,0 +1,108 @@
+#include "core/adaptive_threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/technology.hpp"
+
+namespace hymem::core {
+namespace {
+
+MigrationConfig initial() {
+  MigrationConfig c;
+  c.read_threshold = 4;
+  c.write_threshold = 6;
+  return c;
+}
+
+TEST(BreakEven, MatchesHandComputation) {
+  // Round trip: 64 * (100 + 50 + 50 + 350) = 35200 ns.
+  // Saving per access: (100+350)/2 - (50+50)/2 = 175 ns.
+  // 35200 / 175 = 201.14... -> 202.
+  const auto be = AdaptiveThresholdController::break_even(
+      mem::dram_table4(), mem::pcm_table4(), 64);
+  EXPECT_EQ(be, 202u);
+}
+
+TEST(BreakEven, NoSavingMeansImmediateBreakEven) {
+  const auto be = AdaptiveThresholdController::break_even(
+      mem::dram_table4(), mem::dram_table4(), 64);
+  EXPECT_EQ(be, 1u);
+}
+
+TEST(Adaptive, RaisesThresholdsWhenMigrationsWasted) {
+  AdaptiveConfig cfg;
+  cfg.window = 10;
+  AdaptiveThresholdController ctl(initial(), cfg, /*break_even=*/50);
+  const auto read_before = ctl.read_threshold();
+  const auto write_before = ctl.write_threshold();
+  // All promotions die after 1 DRAM hit: clearly non-beneficial.
+  for (int i = 0; i < 10; ++i) ctl.observe_promotion_outcome(1);
+  EXPECT_GT(ctl.read_threshold(), read_before);
+  EXPECT_GT(ctl.write_threshold(), write_before);
+  EXPECT_EQ(ctl.adaptations(), 1u);
+}
+
+TEST(Adaptive, LowersThresholdsWhenAllBeneficial) {
+  AdaptiveConfig cfg;
+  cfg.window = 10;
+  AdaptiveThresholdController ctl(initial(), cfg, /*break_even=*/50);
+  const auto read_before = ctl.read_threshold();
+  for (int i = 0; i < 10; ++i) ctl.observe_promotion_outcome(500);
+  EXPECT_LT(ctl.read_threshold(), read_before);
+}
+
+TEST(Adaptive, NoChangeInTheComfortZone) {
+  AdaptiveConfig cfg;
+  cfg.window = 10;
+  cfg.raise_below = 0.4;
+  cfg.lower_above = 0.9;
+  AdaptiveThresholdController ctl(initial(), cfg, 50);
+  // 60% beneficial: inside [0.4, 0.9] -> no adaptation.
+  for (int i = 0; i < 6; ++i) ctl.observe_promotion_outcome(100);
+  for (int i = 0; i < 4; ++i) ctl.observe_promotion_outcome(1);
+  EXPECT_EQ(ctl.adaptations(), 0u);
+  EXPECT_EQ(ctl.read_threshold(), initial().read_threshold);
+}
+
+TEST(Adaptive, ThresholdsStayWithinBounds) {
+  AdaptiveConfig cfg;
+  cfg.window = 4;
+  cfg.min_threshold = 1;
+  cfg.max_threshold = 8;
+  AdaptiveThresholdController ctl(initial(), cfg, 50);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) ctl.observe_promotion_outcome(0);
+  }
+  EXPECT_LE(ctl.read_threshold(), 8u);
+  EXPECT_LE(ctl.write_threshold(), 8u);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) ctl.observe_promotion_outcome(1000);
+  }
+  EXPECT_GE(ctl.read_threshold(), 1u);
+  EXPECT_GE(ctl.write_threshold(), 1u);
+}
+
+TEST(Adaptive, LifetimeFractionAccumulates) {
+  AdaptiveConfig cfg;
+  cfg.window = 100;  // no adaptation during this test
+  AdaptiveThresholdController ctl(initial(), cfg, 10);
+  ctl.observe_promotion_outcome(20);  // beneficial
+  ctl.observe_promotion_outcome(5);   // wasted
+  EXPECT_EQ(ctl.observed(), 2u);
+  EXPECT_DOUBLE_EQ(ctl.lifetime_beneficial_fraction(), 0.5);
+}
+
+TEST(Adaptive, InvalidConfigRejected) {
+  AdaptiveConfig cfg;
+  cfg.window = 0;
+  EXPECT_THROW(AdaptiveThresholdController(initial(), cfg, 10),
+               std::logic_error);
+  cfg = AdaptiveConfig{};
+  cfg.min_threshold = 5;
+  cfg.max_threshold = 2;
+  EXPECT_THROW(AdaptiveThresholdController(initial(), cfg, 10),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::core

@@ -1,0 +1,304 @@
+#include "core/migration_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "trace/reuse_distance.hpp"
+#include "util/random.hpp"
+
+namespace hymem::core {
+namespace {
+
+os::VmmConfig hybrid_config(std::uint64_t dram, std::uint64_t nvm) {
+  os::VmmConfig c;
+  c.dram_frames = dram;
+  c.nvm_frames = nvm;
+  return c;
+}
+
+MigrationConfig config(std::uint64_t read_thr, std::uint64_t write_thr,
+                       double read_perc = 1.0, double write_perc = 1.0) {
+  MigrationConfig c;
+  c.read_threshold = read_thr;
+  c.write_threshold = write_thr;
+  c.read_perc = read_perc;
+  c.write_perc = write_perc;
+  return c;
+}
+
+TEST(MigrationScheme, AllFaultsFillDram) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  TwoLruMigrationPolicy policy(vmm, config(4, 6));
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kWrite);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  EXPECT_EQ(vmm.tier_of(2), Tier::kDram);
+  EXPECT_EQ(vmm.dma_counters().disk_fills_to_nvm, 0u);
+}
+
+TEST(MigrationScheme, DramOverflowDemotesToNvmHead) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  TwoLruMigrationPolicy policy(vmm, config(4, 6));
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);
+  policy.on_access(3, AccessType::kRead);  // LRU page 1 demotes
+  EXPECT_EQ(vmm.tier_of(1), Tier::kNvm);
+  EXPECT_EQ(policy.demotions(), 1u);
+  EXPECT_EQ(vmm.dma_counters().migrations_dram_to_nvm, 1u);
+}
+
+TEST(MigrationScheme, NvmServesWritesUnlikeClockDwf) {
+  os::Vmm vmm(hybrid_config(1, 4));
+  TwoLruMigrationPolicy policy(vmm, config(100, 100));  // never migrate
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);  // 1 -> NVM
+  ASSERT_EQ(vmm.tier_of(1), Tier::kNvm);
+  policy.on_access(1, AccessType::kWrite);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kNvm) << "below threshold: no migration";
+  EXPECT_EQ(vmm.device(Tier::kNvm).counters().demand_writes, 1u);
+}
+
+TEST(MigrationScheme, PromotionExactlyWhenCounterExceedsThreshold) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  TwoLruMigrationPolicy policy(vmm, config(/*read=*/3, /*write=*/100));
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);
+  policy.on_access(3, AccessType::kRead);  // 1 demoted to NVM
+  ASSERT_EQ(vmm.tier_of(1), Tier::kNvm);
+  // Hits 1..3 keep it in NVM (counter <= 3); the 4th hit exceeds.
+  for (int i = 0; i < 3; ++i) {
+    policy.on_access(1, AccessType::kRead);
+    ASSERT_EQ(vmm.tier_of(1), Tier::kNvm) << "hit " << i;
+  }
+  policy.on_access(1, AccessType::kRead);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  EXPECT_EQ(policy.promotions(), 1u);
+}
+
+TEST(MigrationScheme, WriteThresholdIndependentOfReadThreshold) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  TwoLruMigrationPolicy policy(vmm, config(/*read=*/100, /*write=*/2));
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);
+  policy.on_access(3, AccessType::kRead);  // 1 -> NVM
+  ASSERT_EQ(vmm.tier_of(1), Tier::kNvm);
+  policy.on_access(1, AccessType::kRead);   // read counter 1
+  policy.on_access(1, AccessType::kWrite);  // write counter 1
+  policy.on_access(1, AccessType::kWrite);  // write counter 2
+  ASSERT_EQ(vmm.tier_of(1), Tier::kNvm);
+  policy.on_access(1, AccessType::kWrite);  // write counter 3 > 2: promote
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+}
+
+TEST(MigrationScheme, PromotionIntoFullDramSwaps) {
+  os::Vmm vmm(hybrid_config(1, 4));
+  TwoLruMigrationPolicy policy(vmm, config(/*read=*/1, /*write=*/100));
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);  // 1 -> NVM, 2 in DRAM (full)
+  ASSERT_EQ(vmm.tier_of(1), Tier::kNvm);
+  policy.on_access(1, AccessType::kRead);  // counter 1
+  policy.on_access(1, AccessType::kRead);  // counter 2 > 1: swap promote
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  EXPECT_EQ(vmm.tier_of(2), Tier::kNvm);
+  EXPECT_EQ(vmm.dma_counters().migrations_nvm_to_dram, 1u);
+  // Two D->N migrations: the capacity demotion of page 1 when page 2
+  // faulted, plus the swap's demotion of page 2.
+  EXPECT_EQ(vmm.dma_counters().migrations_dram_to_nvm, 2u);
+}
+
+TEST(MigrationScheme, NvmOverflowEvictsToDisk) {
+  os::Vmm vmm(hybrid_config(1, 1));
+  TwoLruMigrationPolicy policy(vmm, config(100, 100));
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);  // 1 -> NVM
+  policy.on_access(3, AccessType::kRead);  // 2 -> NVM, 1 evicted to disk
+  EXPECT_FALSE(vmm.is_resident(1));
+  EXPECT_EQ(vmm.tier_of(2), Tier::kNvm);
+  EXPECT_EQ(vmm.tier_of(3), Tier::kDram);
+}
+
+TEST(MigrationScheme, InfiniteThresholdsMeanNoPromotions) {
+  os::Vmm vmm(hybrid_config(2, 8));
+  TwoLruMigrationPolicy policy(vmm, config(~0ULL, ~0ULL));
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    policy.on_access(rng.next_below(15), rng.next_bool(0.3)
+                                             ? AccessType::kWrite
+                                             : AccessType::kRead);
+  }
+  EXPECT_EQ(policy.promotions(), 0u);
+  EXPECT_EQ(vmm.dma_counters().migrations_nvm_to_dram, 0u);
+}
+
+TEST(MigrationScheme, ZeroThresholdActsLikePromoteOnTouch) {
+  os::Vmm vmm(hybrid_config(2, 8));
+  TwoLruMigrationPolicy policy(vmm, config(0, 0));
+  Rng rng(3);
+  std::uint64_t nvm_hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const PageId page = rng.next_below(15);
+    const bool was_nvm = vmm.tier_of(page) == Tier::kNvm;
+    policy.on_access(page, AccessType::kRead);
+    if (was_nvm) {
+      ++nvm_hits;
+      EXPECT_EQ(vmm.tier_of(page), Tier::kDram) << "must promote immediately";
+    }
+  }
+  EXPECT_GT(nvm_hits, 0u);
+  EXPECT_EQ(policy.promotions(), nvm_hits);
+}
+
+TEST(MigrationScheme, QueueBookkeepingMatchesResidency) {
+  os::Vmm vmm(hybrid_config(3, 9));
+  TwoLruMigrationPolicy policy(vmm, config(2, 4, 0.3, 0.6));
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    policy.on_access(rng.next_below(30), rng.next_bool(0.35)
+                                             ? AccessType::kWrite
+                                             : AccessType::kRead);
+    ASSERT_EQ(policy.dram_queue().size(), vmm.resident(Tier::kDram));
+    ASSERT_EQ(policy.nvm_queue().size(), vmm.resident(Tier::kNvm));
+  }
+  policy.nvm_queue().check_invariants();
+}
+
+TEST(MigrationScheme, HitRatioTracksPlainLruOfSameTotalSize) {
+  // Section IV: the scheme keeps "almost the same hit ratio as an
+  // unmodified LRU" of the combined capacity.
+  constexpr std::uint64_t kDram = 4, kNvm = 36;
+  os::Vmm vmm(hybrid_config(kDram, kNvm));
+  TwoLruMigrationPolicy policy(vmm, config(4, 6, 0.1, 0.3));
+  trace::ReuseDistanceAnalyzer rd(4096);
+  Rng rng(29);
+  std::uint64_t accesses = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Zipf-ish skew via modulo of two uniforms.
+    const PageId page = rng.next_below(1 + rng.next_below(80));
+    rd.observe(page * 4096);
+    policy.on_access(page, AccessType::kRead);
+    ++accesses;
+  }
+  const auto& dram = vmm.device(Tier::kDram).counters();
+  const auto& nvm = vmm.device(Tier::kNvm).counters();
+  const double hit_ratio =
+      static_cast<double>(dram.demand_reads + dram.demand_writes +
+                          nvm.demand_reads + nvm.demand_writes) /
+      static_cast<double>(accesses);
+  const double lru_ratio = rd.lru_hit_ratio(kDram + kNvm);
+  EXPECT_NEAR(hit_ratio, lru_ratio, 0.02);
+}
+
+TEST(MigrationScheme, PromotedPageEntersDramQueueMru) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  TwoLruMigrationPolicy policy(vmm, config(0, 0));
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);
+  policy.on_access(3, AccessType::kRead);  // 1 -> NVM
+  policy.on_access(1, AccessType::kRead);  // promoted; DRAM had to demote 2
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  // DRAM victim must have been the LRU of {2,3}, i.e. page 2.
+  EXPECT_EQ(vmm.tier_of(2), Tier::kNvm);
+  EXPECT_EQ(vmm.tier_of(3), Tier::kDram);
+}
+
+TEST(MigrationScheme, RequiresBothModules) {
+  os::VmmConfig cfg;
+  cfg.dram_frames = 4;
+  cfg.nvm_frames = 0;
+  os::Vmm vmm(cfg);
+  EXPECT_THROW(TwoLruMigrationPolicy(vmm, config(1, 1)), std::logic_error);
+}
+
+TEST(MigrationScheme, NameReflectsAdaptivity) {
+  os::Vmm vmm1(hybrid_config(2, 4));
+  TwoLruMigrationPolicy fixed(vmm1, config(1, 2));
+  EXPECT_EQ(fixed.name(), "two-lru");
+  os::Vmm vmm2(hybrid_config(2, 4));
+  MigrationConfig adaptive_cfg = config(1, 2);
+  adaptive_cfg.adaptive = true;
+  TwoLruMigrationPolicy adaptive(vmm2, adaptive_cfg);
+  EXPECT_EQ(adaptive.name(), "two-lru-adaptive");
+  EXPECT_NE(adaptive.controller(), nullptr);
+  EXPECT_EQ(fixed.controller(), nullptr);
+}
+
+
+TEST(MigrationScheme, AdaptiveControllerRaisesThresholdsUnderChurn) {
+  // A churny stream where promoted pages die quickly: the controller must
+  // observe the wasted round trips and raise the thresholds.
+  auto build = [&](bool adaptive) {
+    auto cfg = config(/*read=*/1, /*write=*/2, 1.0, 1.0);
+    cfg.adaptive = adaptive;
+    return cfg;
+  };
+  os::Vmm vmm(hybrid_config(4, 36));
+  TwoLruMigrationPolicy policy(vmm, build(true));
+  const auto initial_read = policy.read_threshold();
+  Rng rng(77);
+  // Phased stream: each phase hammers a few pages (earning promotion) and
+  // then abandons them, so almost no promotion reaches break-even.
+  for (int phase = 0; phase < 400; ++phase) {
+    const PageId base = 10 + (static_cast<PageId>(phase) * 7) % 50;
+    for (int i = 0; i < 40; ++i) {
+      policy.on_access(base + rng.next_below(3), AccessType::kRead);
+    }
+  }
+  ASSERT_NE(policy.controller(), nullptr);
+  EXPECT_GT(policy.controller()->observed(), 0u);
+  EXPECT_GT(policy.read_threshold(), initial_read)
+      << "controller never reacted to the wasted migrations";
+}
+
+TEST(MigrationScheme, AdaptiveNeverMigratesMoreThanPromoteHappyFixed) {
+  auto run = [&](bool adaptive) {
+    os::Vmm vmm(hybrid_config(4, 36));
+    auto cfg = config(1, 2, 1.0, 1.0);
+    cfg.adaptive = adaptive;
+    TwoLruMigrationPolicy policy(vmm, cfg);
+    Rng rng(78);
+    for (int phase = 0; phase < 300; ++phase) {
+      const PageId base = 10 + (static_cast<PageId>(phase) * 7) % 50;
+      for (int i = 0; i < 40; ++i) {
+        policy.on_access(base + rng.next_below(3), AccessType::kRead);
+      }
+    }
+    return policy.promotions();
+  };
+  EXPECT_LE(run(true), run(false));
+}
+
+
+TEST(MigrationScheme, RateLimiterCapsPromotions) {
+  auto run = [&](std::uint64_t limit) {
+    os::Vmm vmm(hybrid_config(2, 18));
+    auto cfg = config(0, 0, 1.0, 1.0);  // promote-on-touch: worst case
+    cfg.max_promotions_per_kacc = limit;
+    TwoLruMigrationPolicy policy(vmm, cfg);
+    Rng rng(55);
+    constexpr int kAccesses = 20000;
+    for (int i = 0; i < kAccesses; ++i) {
+      policy.on_access(rng.next_below(25), AccessType::kRead);
+    }
+    return std::pair{policy.promotions(), policy.throttled_promotions()};
+  };
+  const auto [unlimited, t0] = run(0);
+  const auto [limited, throttled] = run(10);
+  EXPECT_EQ(t0, 0u);
+  EXPECT_GT(throttled, 0u);
+  EXPECT_LT(limited, unlimited);
+  // 10 promotions per kacc over 20k accesses, plus the initial bucket.
+  EXPECT_LE(limited, 220u);
+}
+
+TEST(MigrationScheme, RateLimiterOffByDefault) {
+  os::Vmm vmm(hybrid_config(2, 6));
+  TwoLruMigrationPolicy policy(vmm, config(0, 0));
+  for (int i = 0; i < 200; ++i) {
+    policy.on_access(static_cast<PageId>(i % 10), AccessType::kRead);
+  }
+  EXPECT_EQ(policy.throttled_promotions(), 0u);
+}
+
+}  // namespace
+}  // namespace hymem::core

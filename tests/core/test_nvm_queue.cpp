@@ -1,0 +1,191 @@
+#include "core/nvm_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hymem::core {
+namespace {
+
+std::vector<PageId> order(const CountedLruQueue& q) {
+  std::vector<PageId> out;
+  q.for_each_mru_to_lru([&out](PageId p) { out.push_back(p); });
+  return out;
+}
+
+TEST(CountedLru, WindowTargetsFromFractions) {
+  CountedLruQueue q(10, 0.2, 0.5);
+  EXPECT_EQ(q.read_window_target(), 2u);
+  EXPECT_EQ(q.write_window_target(), 5u);
+}
+
+TEST(CountedLru, WindowTargetCeilsAndClamps) {
+  CountedLruQueue q(10, 0.01, 1.0);
+  EXPECT_EQ(q.read_window_target(), 1u);  // ceil(0.1)
+  EXPECT_EQ(q.write_window_target(), 10u);
+  CountedLruQueue zero(10, 0.0, 0.0);
+  EXPECT_EQ(zero.read_window_target(), 0u);
+}
+
+TEST(CountedLru, LruOrderMaintained) {
+  CountedLruQueue q(4, 0.5, 0.5);
+  q.insert_front(1);
+  q.insert_front(2);
+  q.insert_front(3);
+  EXPECT_EQ(order(q), (std::vector<PageId>{3, 2, 1}));
+  EXPECT_EQ(q.lru_victim(), PageId{1});
+  q.record_hit(1, AccessType::kRead);
+  EXPECT_EQ(order(q), (std::vector<PageId>{1, 3, 2}));
+  EXPECT_EQ(q.lru_victim(), PageId{2});
+}
+
+TEST(CountedLru, CounterIncrementsInsideWindow) {
+  CountedLruQueue q(4, 1.0, 1.0);  // whole queue is the window
+  q.insert_front(1);
+  EXPECT_EQ(q.record_hit(1, AccessType::kRead), 1u);
+  EXPECT_EQ(q.record_hit(1, AccessType::kRead), 2u);
+  EXPECT_EQ(q.record_hit(1, AccessType::kRead), 3u);
+}
+
+TEST(CountedLru, ReadAndWriteCountersIndependent) {
+  CountedLruQueue q(4, 1.0, 1.0);
+  q.insert_front(1);
+  q.record_hit(1, AccessType::kRead);
+  q.record_hit(1, AccessType::kWrite);
+  q.record_hit(1, AccessType::kWrite);
+  EXPECT_EQ(q.read_counter(1), 1u);
+  EXPECT_EQ(q.write_counter(1), 2u);
+}
+
+TEST(CountedLru, HitFromOutsideWindowRestartsAtOne) {
+  // Window of 1: only the MRU page has a live counter (Algorithm 1 l.13-14).
+  CountedLruQueue q(4, 0.25, 0.25);
+  q.insert_front(1);
+  q.insert_front(2);  // window={2}; 1 dropped out, counter reset
+  EXPECT_TRUE(q.in_read_window(2));
+  EXPECT_FALSE(q.in_read_window(1));
+  EXPECT_EQ(q.record_hit(1, AccessType::kRead), 1u);  // re-enters at 1
+  EXPECT_TRUE(q.in_read_window(1));
+  EXPECT_FALSE(q.in_read_window(2));
+  EXPECT_EQ(q.read_counter(2), 0u) << "boundary page counter must reset";
+}
+
+TEST(CountedLru, BoundaryPageResetOnEntry) {
+  // Window of 2 over 3 pages: pushing a page into the window expels the
+  // boundary page and clears its counter (Algorithm 1 l.8-9).
+  CountedLruQueue q(4, 0.5, 0.5);
+  q.insert_front(1);
+  q.insert_front(2);  // window = {2, 1}
+  q.record_hit(1, AccessType::kRead);  // counter(1) = 1, window = {1, 2}
+  q.insert_front(3);                   // window = {3, 1}; 2 expelled
+  EXPECT_EQ(q.read_counter(1), 1u) << "1 stays in window, counter kept";
+  q.record_hit(2, AccessType::kRead);  // 2 re-enters; 1 expelled -> reset
+  EXPECT_EQ(q.read_counter(1), 0u);
+  EXPECT_EQ(q.read_counter(2), 1u);
+}
+
+TEST(CountedLru, CounterPersistsWhileMovingWithinWindow) {
+  CountedLruQueue q(8, 0.5, 0.5);  // window of 4
+  q.insert_front(1);
+  q.insert_front(2);
+  q.insert_front(3);
+  // All three in window. Hit 1 twice, interleaved with hits to others.
+  EXPECT_EQ(q.record_hit(1, AccessType::kWrite), 1u);
+  q.record_hit(2, AccessType::kWrite);
+  EXPECT_EQ(q.record_hit(1, AccessType::kWrite), 2u);
+}
+
+TEST(CountedLru, EraseRefillsWindowFromBelow) {
+  CountedLruQueue q(4, 0.5, 0.5);  // window of 2
+  q.insert_front(1);
+  q.insert_front(2);
+  q.insert_front(3);  // window {3,2}, outside {1}
+  q.erase(3);
+  // 1 must re-enter the window (with a fresh counter).
+  EXPECT_TRUE(q.in_read_window(1));
+  EXPECT_TRUE(q.in_read_window(2));
+  EXPECT_EQ(q.read_counter(1), 0u);
+}
+
+TEST(CountedLru, EraseLruVictim) {
+  CountedLruQueue q(4, 0.5, 0.5);
+  q.insert_front(1);
+  q.insert_front(2);
+  const auto victim = q.lru_victim();
+  ASSERT_EQ(victim, PageId{1});
+  q.erase(*victim);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(CountedLru, AsymmetricWindows) {
+  CountedLruQueue q(10, 0.1, 0.3);  // read window 1, write window 3
+  for (PageId p = 1; p <= 5; ++p) q.insert_front(p);
+  // MRU order: 5 4 3 2 1. Read window = {5}; write window = {5,4,3}.
+  EXPECT_TRUE(q.in_read_window(5));
+  EXPECT_FALSE(q.in_read_window(4));
+  EXPECT_TRUE(q.in_write_window(4));
+  EXPECT_TRUE(q.in_write_window(3));
+  EXPECT_FALSE(q.in_write_window(2));
+}
+
+TEST(CountedLru, WriteCounterSurvivesReadWindowExit) {
+  // A page can stay in the (larger) write window after leaving the read
+  // window; only the read counter resets.
+  CountedLruQueue q(10, 0.1, 0.5);
+  q.insert_front(1);
+  q.record_hit(1, AccessType::kWrite);
+  q.record_hit(1, AccessType::kRead);
+  EXPECT_EQ(q.write_counter(1), 1u);
+  EXPECT_EQ(q.read_counter(1), 1u);
+  q.insert_front(2);  // 1 leaves read window (size 1), stays in write window
+  EXPECT_FALSE(q.in_read_window(1));
+  EXPECT_TRUE(q.in_write_window(1));
+  EXPECT_EQ(q.read_counter(1), 0u);
+  EXPECT_EQ(q.write_counter(1), 1u);
+}
+
+TEST(CountedLru, InvariantsUnderRandomChurn) {
+  CountedLruQueue q(32, 0.15, 0.4);
+  Rng rng(99);
+  std::vector<PageId> present;
+  PageId next = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double op = rng.next_double();
+    if (op < 0.5 && !present.empty()) {
+      const PageId page = present[rng.next_below(present.size())];
+      q.record_hit(page, rng.next_bool(0.4) ? AccessType::kWrite
+                                            : AccessType::kRead);
+    } else if (op < 0.8 && q.size() < q.capacity()) {
+      q.insert_front(next);
+      present.push_back(next++);
+    } else if (!present.empty()) {
+      const std::size_t idx = rng.next_below(present.size());
+      q.erase(present[idx]);
+      present[idx] = present.back();
+      present.pop_back();
+    }
+    if (i % 256 == 0) {
+      ASSERT_NO_THROW(q.check_invariants());
+    }
+  }
+  q.check_invariants();
+}
+
+TEST(CountedLru, MisuseDetected) {
+  CountedLruQueue q(2, 0.5, 0.5);
+  EXPECT_THROW(q.record_hit(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(q.erase(1), std::logic_error);
+  q.insert_front(1);
+  EXPECT_THROW(q.insert_front(1), std::logic_error);
+  q.insert_front(2);
+  EXPECT_THROW(q.insert_front(3), std::logic_error);  // full
+  EXPECT_THROW(CountedLruQueue(0, 0.5, 0.5), std::logic_error);
+  EXPECT_THROW(CountedLruQueue(2, -0.1, 0.5), std::logic_error);
+  EXPECT_THROW(CountedLruQueue(2, 0.5, 1.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::core

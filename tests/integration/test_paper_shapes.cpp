@@ -1,0 +1,120 @@
+// Scaled-down assertions of the paper's headline claims (the full-size
+// versions are the bench harnesses). These use heavily scaled PARSEC
+// profiles so the whole suite stays fast, and assert *directions*, not
+// absolute numbers.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "synth/workload_profile.hpp"
+
+namespace hymem {
+namespace {
+
+constexpr std::uint64_t kScale = 256;
+
+sim::RunResult run(const char* workload, const char* policy,
+                   std::uint64_t scale = kScale) {
+  sim::ExperimentConfig cfg;
+  cfg.policy = policy;
+  return sim::run_workload(synth::parsec_profile(workload), scale, cfg,
+                           /*seed=*/42);
+}
+
+TEST(PaperShapes, ClockDwfNeverServesWritesFromNvm) {
+  const auto r = run("facesim", "clock-dwf");
+  EXPECT_EQ(r.counts.nvm_write_hits, 0u);
+}
+
+TEST(PaperShapes, ProposedServesWritesFromNvm) {
+  const auto r = run("facesim", "two-lru");
+  EXPECT_GT(r.counts.nvm_write_hits, 0u);
+}
+
+TEST(PaperShapes, ProposedMigratesLessThanClockDwf) {
+  // The core claim: threshold filtering prevents non-beneficial migrations.
+  for (const char* w : {"facesim", "bodytrack", "x264"}) {
+    const auto dwf = run(w, "clock-dwf");
+    const auto ours = run(w, "two-lru");
+    EXPECT_LT(ours.counts.migrations(), dwf.counts.migrations()) << w;
+  }
+}
+
+TEST(PaperShapes, ProposedReducesNvmWritesVsClockDwf) {
+  // Fig. 4b direction: up to 93% fewer NVM writes.
+  const auto dwf = run("facesim", "clock-dwf");
+  const auto ours = run("facesim", "two-lru");
+  EXPECT_LT(ours.nvm_writes().total(), dwf.nvm_writes().total());
+}
+
+TEST(PaperShapes, ProposedBeatsClockDwfAmatOnWriteHeavyWorkload) {
+  // Fig. 4c direction (48% average improvement).
+  const auto dwf = run("facesim", "clock-dwf");
+  const auto ours = run("facesim", "two-lru");
+  EXPECT_LT(ours.amat().total(), dwf.amat().total());
+}
+
+TEST(PaperShapes, HybridBeatsDramOnlyOnPower) {
+  // Fig. 4a direction: static power savings dominate (up to 79%).
+  const auto dram = run("ferret", "dram-only");
+  const auto ours = run("ferret", "two-lru");
+  EXPECT_LT(ours.appr().total(), dram.appr().total());
+  EXPECT_LT(ours.appr().static_nj, dram.appr().static_nj);
+}
+
+TEST(PaperShapes, StaticPowerIdenticalAcrossHybridPolicies) {
+  // Section V.B: "The static power consumption is the same for both
+  // methods since they are evaluated using the same DRAM and NVM size."
+  const auto dwf = run("bodytrack", "clock-dwf");
+  const auto ours = run("bodytrack", "two-lru");
+  EXPECT_DOUBLE_EQ(dwf.appr().static_nj, ours.appr().static_nj);
+}
+
+TEST(PaperShapes, DramOnlyStaticPowerDominates) {
+  // Fig. 1: static is 60-80% of DRAM-only power for ordinary workloads...
+  const auto r = run("ferret", "dram-only");
+  const auto p = r.appr();
+  EXPECT_GT(p.static_nj / p.total(), 0.5);
+}
+
+TEST(PaperShapes, StreamclusterIsDynamicDominated) {
+  // ...but streamcluster's burst over a tiny footprint is the exception.
+  const auto r = run("streamcluster", "dram-only", 2048);
+  const auto p = r.appr();
+  EXPECT_LT(p.static_nj / p.total(), 0.5);
+}
+
+TEST(PaperShapes, ProposedReducesNvmWritesVsNvmOnly) {
+  // Section V.B: up to 75% (49% average) fewer NVM writes than NVM-only.
+  const auto nvm = run("x264", "nvm-only");
+  const auto ours = run("x264", "two-lru");
+  EXPECT_LT(ours.nvm_writes().total(), nvm.nvm_writes().total());
+}
+
+TEST(PaperShapes, MigrationShareOfClockDwfAmatIsLarge) {
+  // Section III.B: migrations contribute heavily to CLOCK-DWF's AMAT.
+  const auto dwf = run("facesim", "clock-dwf");
+  const auto b = dwf.amat();
+  EXPECT_GT(b.migration_ns / b.total(), 0.2);
+}
+
+TEST(PaperShapes, ThresholdZeroApproachesDramCacheBehaviour) {
+  sim::ExperimentConfig aggressive;
+  aggressive.policy = "two-lru";
+  aggressive.migration.read_threshold = 0;
+  aggressive.migration.write_threshold = 0;
+  const auto zero = sim::run_workload(synth::parsec_profile("bodytrack"),
+                                      kScale, aggressive, 42);
+  const auto cache = run("bodytrack", "dram-cache");
+  const auto tuned = run("bodytrack", "two-lru");
+  // Promote-on-touch migrates far more than the tuned scheme.
+  EXPECT_GT(zero.counts.migrations(), tuned.counts.migrations());
+  EXPECT_GT(cache.counts.migrations(), tuned.counts.migrations());
+}
+
+TEST(PaperShapes, StaticPartitionHasNoMigrations) {
+  const auto r = run("bodytrack", "static-partition");
+  EXPECT_EQ(r.counts.migrations(), 0u);
+}
+
+}  // namespace
+}  // namespace hymem

@@ -1,0 +1,80 @@
+#include "mem/bank_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::mem {
+namespace {
+
+BankModelConfig tiny_config() {
+  BankModelConfig c;
+  c.banks = 2;
+  c.row_bytes = 1024;
+  c.row_hit_ns = 10;
+  c.row_miss_penalty_ns = 30;
+  c.write_recovery_ns = 5;
+  return c;
+}
+
+TEST(BankModel, FirstAccessMissesThenHits) {
+  BankModel m(tiny_config());
+  EXPECT_DOUBLE_EQ(m.access(0, AccessType::kRead), 40);   // cold row
+  EXPECT_DOUBLE_EQ(m.access(64, AccessType::kRead), 10);  // same row
+  EXPECT_EQ(m.stats().row_hits, 1u);
+  EXPECT_EQ(m.stats().row_misses, 1u);
+}
+
+TEST(BankModel, DifferentRowSameBankConflicts) {
+  BankModel m(tiny_config());
+  // banks=2, row 1024B: addr 0 -> bank 0 row 0; addr 2048 -> bank 0 row 1.
+  m.access(0, AccessType::kRead);
+  EXPECT_DOUBLE_EQ(m.access(2048, AccessType::kRead), 40);
+  // Going back also conflicts (row buffer now holds row 1).
+  EXPECT_DOUBLE_EQ(m.access(0, AccessType::kRead), 40);
+}
+
+TEST(BankModel, DifferentBanksDoNotConflict) {
+  BankModel m(tiny_config());
+  m.access(0, AccessType::kRead);     // bank 0
+  m.access(1024, AccessType::kRead);  // bank 1
+  EXPECT_DOUBLE_EQ(m.access(0, AccessType::kRead), 10);
+  EXPECT_DOUBLE_EQ(m.access(1024, AccessType::kRead), 10);
+}
+
+TEST(BankModel, WriteRecoveryAdded) {
+  BankModel m(tiny_config());
+  m.access(0, AccessType::kRead);
+  EXPECT_DOUBLE_EQ(m.access(0, AccessType::kWrite), 15);  // hit + recovery
+}
+
+TEST(BankModel, StatsAccumulate) {
+  BankModel m(tiny_config());
+  m.access(0, AccessType::kRead);
+  m.access(0, AccessType::kRead);
+  m.access(0, AccessType::kRead);
+  EXPECT_EQ(m.stats().accesses, 3u);
+  EXPECT_NEAR(m.stats().row_hit_ratio(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.stats().average_latency_ns(), (40 + 10 + 10) / 3.0);
+}
+
+TEST(BankModel, SequentialStreamMostlyHits) {
+  BankModel m(tiny_config());
+  for (Addr a = 0; a < 16 * 1024; a += 64) m.access(a, AccessType::kRead);
+  EXPECT_GT(m.stats().row_hit_ratio(), 0.9);
+}
+
+TEST(BankModel, FromTechnologyReproducesFlatLatency) {
+  const double p = 0.6;  // expected row-hit ratio
+  const auto config = BankModel::from_technology(dram_table4(), p);
+  const double expected_avg =
+      config.row_hit_ns + (1.0 - p) * config.row_miss_penalty_ns;
+  EXPECT_NEAR(expected_avg, dram_table4().read_latency_ns, 1e-9);
+}
+
+TEST(BankModel, InvalidConfigRejected) {
+  BankModelConfig c = tiny_config();
+  c.banks = 0;
+  EXPECT_THROW(BankModel{c}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::mem

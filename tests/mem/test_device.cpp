@@ -1,0 +1,56 @@
+#include "mem/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::mem {
+namespace {
+
+MemoryDevice make_nvm(std::uint64_t frames = 16) {
+  return MemoryDevice(Tier::kNvm, pcm_table4(), frames, 4096);
+}
+
+TEST(Device, BasicProperties) {
+  const auto d = make_nvm(16);
+  EXPECT_EQ(d.tier(), Tier::kNvm);
+  EXPECT_EQ(d.frames(), 16u);
+  EXPECT_EQ(d.page_size(), 4096u);
+  EXPECT_EQ(d.capacity_bytes(), 16u * 4096);
+}
+
+TEST(Device, DemandAccessLatencyAndCounters) {
+  auto d = make_nvm();
+  EXPECT_DOUBLE_EQ(d.record_demand(AccessType::kRead), 100);
+  EXPECT_DOUBLE_EQ(d.record_demand(AccessType::kWrite), 350);
+  EXPECT_EQ(d.counters().demand_reads, 1u);
+  EXPECT_EQ(d.counters().demand_writes, 1u);
+  EXPECT_EQ(d.counters().total(), 2u);
+}
+
+TEST(Device, TransferLatencyScalesWithCount) {
+  auto d = make_nvm();
+  EXPECT_DOUBLE_EQ(d.record_transfer(AccessType::kWrite, 64), 64 * 350.0);
+  EXPECT_EQ(d.counters().transfer_writes, 64u);
+  EXPECT_EQ(d.counters().demand_writes, 0u);
+}
+
+TEST(Device, DynamicEnergyAccumulates) {
+  auto d = make_nvm();
+  d.record_demand(AccessType::kRead);                // 6.4 nJ
+  d.record_demand(AccessType::kWrite);               // 32 nJ
+  d.record_transfer(AccessType::kRead, 10);          // 64 nJ
+  EXPECT_DOUBLE_EQ(d.dynamic_energy_nj(), 6.4 + 32.0 + 64.0);
+}
+
+TEST(Device, StaticPowerFromCapacity) {
+  const MemoryDevice d(Tier::kDram, dram_table4(), 262144, 4096);  // 1 GiB
+  EXPECT_DOUBLE_EQ(d.static_power(), 1.0);
+}
+
+TEST(Device, ZeroFramesAllowedForSingleTierBaselines) {
+  const MemoryDevice d(Tier::kNvm, pcm_table4(), 0, 4096);
+  EXPECT_EQ(d.capacity_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(d.static_power(), 0.0);
+}
+
+}  // namespace
+}  // namespace hymem::mem

@@ -1,0 +1,94 @@
+#include "mem/dma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::mem {
+namespace {
+
+TEST(Dma, PageFactorComputation) {
+  EXPECT_EQ(page_factor(4096, 64), 64u);
+  EXPECT_EQ(page_factor(8192, 64), 128u);
+  EXPECT_EQ(page_factor(4096, 4096), 1u);
+}
+
+TEST(Dma, MigrationChargesBothDevices) {
+  MemoryDevice dram(Tier::kDram, dram_table4(), 4, 4096);
+  MemoryDevice nvm(Tier::kNvm, pcm_table4(), 4, 4096);
+  DmaEngine dma(4096, 64);
+  // NVM -> DRAM: 64 NVM reads + 64 DRAM writes.
+  const Nanoseconds lat = dma.migrate(nvm, dram);
+  EXPECT_DOUBLE_EQ(lat, 64 * 100.0 + 64 * 50.0);
+  EXPECT_EQ(nvm.counters().transfer_reads, 64u);
+  EXPECT_EQ(dram.counters().transfer_writes, 64u);
+  EXPECT_EQ(dma.counters().migrations_nvm_to_dram, 1u);
+  EXPECT_EQ(dma.counters().migrations_dram_to_nvm, 0u);
+}
+
+TEST(Dma, ReverseMigrationCountedSeparately) {
+  MemoryDevice dram(Tier::kDram, dram_table4(), 4, 4096);
+  MemoryDevice nvm(Tier::kNvm, pcm_table4(), 4, 4096);
+  DmaEngine dma(4096, 64);
+  const Nanoseconds lat = dma.migrate(dram, nvm);
+  EXPECT_DOUBLE_EQ(lat, 64 * 50.0 + 64 * 350.0);
+  EXPECT_EQ(dma.counters().migrations_dram_to_nvm, 1u);
+  EXPECT_EQ(dma.counters().migrations(), 1u);
+}
+
+TEST(Dma, FillFromDiskChargesDestinationWrites) {
+  MemoryDevice nvm(Tier::kNvm, pcm_table4(), 4, 4096);
+  DmaEngine dma(4096, 64);
+  dma.fill_from_disk(nvm);
+  EXPECT_EQ(nvm.counters().transfer_writes, 64u);
+  EXPECT_EQ(dma.counters().disk_fills_to_nvm, 1u);
+  EXPECT_EQ(dma.counters().disk_fills_to_dram, 0u);
+}
+
+TEST(Dma, SameTierMigrationRejected) {
+  MemoryDevice a(Tier::kDram, dram_table4(), 4, 4096);
+  MemoryDevice b(Tier::kDram, dram_table4(), 4, 4096);
+  DmaEngine dma(4096, 64);
+  EXPECT_THROW(dma.migrate(a, b), std::logic_error);
+}
+
+TEST(Dma, BadGranularityRejected) {
+  EXPECT_THROW(DmaEngine(4096, 0), std::logic_error);
+  EXPECT_THROW(DmaEngine(4096, 100), std::logic_error);  // not a divisor
+}
+
+
+TEST(Dma, IntegratedModeOverlapsStreams) {
+  MemoryDevice dram(Tier::kDram, dram_table4(), 4, 4096);
+  MemoryDevice nvm(Tier::kNvm, pcm_table4(), 4, 4096);
+  DmaEngine dma(4096, 64, TransferMode::kIntegrated);
+  // NVM -> DRAM: max(64*100, 64*50) = 6400 instead of 9600.
+  EXPECT_DOUBLE_EQ(dma.migrate(nvm, dram), 64 * 100.0);
+  // DRAM -> NVM: max(64*50, 64*350) = 22400 instead of 25600.
+  EXPECT_DOUBLE_EQ(dma.migrate(dram, nvm), 64 * 350.0);
+  // Energy accounting is unchanged: the same device accesses happen.
+  EXPECT_EQ(nvm.counters().transfer_reads, 64u);
+  EXPECT_EQ(nvm.counters().transfer_writes, 64u);
+}
+
+TEST(Dma, IntegratedNeverSlowerThanDma) {
+  MemoryDevice dram1(Tier::kDram, dram_table4(), 4, 4096);
+  MemoryDevice nvm1(Tier::kNvm, pcm_table4(), 4, 4096);
+  MemoryDevice dram2(Tier::kDram, dram_table4(), 4, 4096);
+  MemoryDevice nvm2(Tier::kNvm, pcm_table4(), 4, 4096);
+  DmaEngine dma(4096, 64, TransferMode::kDma);
+  DmaEngine integrated(4096, 64, TransferMode::kIntegrated);
+  EXPECT_LT(integrated.migrate(nvm2, dram2), dma.migrate(nvm1, dram1));
+}
+
+TEST(Dma, ResetCountersClears) {
+  MemoryDevice dram(Tier::kDram, dram_table4(), 4, 4096);
+  MemoryDevice nvm(Tier::kNvm, pcm_table4(), 4, 4096);
+  DmaEngine dma(4096, 64);
+  dma.migrate(nvm, dram);
+  dma.fill_from_disk(dram);
+  dma.reset_counters();
+  EXPECT_EQ(dma.counters().migrations(), 0u);
+  EXPECT_EQ(dma.counters().disk_fills_to_dram, 0u);
+}
+
+}  // namespace
+}  // namespace hymem::mem

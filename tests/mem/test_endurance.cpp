@@ -1,0 +1,106 @@
+#include "mem/endurance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hymem::mem {
+namespace {
+
+TEST(Endurance, RecordsPerSource) {
+  EnduranceTracker t(8, 1e8);
+  t.record(0, NvmWriteSource::kDemandWrite);
+  t.record(1, NvmWriteSource::kPageFault, 64);
+  t.record(1, NvmWriteSource::kMigration, 64);
+  EXPECT_EQ(t.total_writes(), 129u);
+  EXPECT_EQ(t.writes_from(NvmWriteSource::kDemandWrite), 1u);
+  EXPECT_EQ(t.writes_from(NvmWriteSource::kPageFault), 64u);
+  EXPECT_EQ(t.writes_from(NvmWriteSource::kMigration), 64u);
+  EXPECT_EQ(t.frame_wear(0), 1u);
+  EXPECT_EQ(t.frame_wear(1), 128u);
+}
+
+TEST(Endurance, WearStatistics) {
+  EnduranceTracker t(4, 0);
+  t.record(0, NvmWriteSource::kDemandWrite, 10);
+  t.record(1, NvmWriteSource::kDemandWrite, 2);
+  EXPECT_EQ(t.max_wear(), 10u);
+  EXPECT_DOUBLE_EQ(t.mean_wear(), 3.0);
+  EXPECT_NEAR(t.wear_imbalance(), 10.0 / 3.0, 1e-12);
+}
+
+TEST(Endurance, LifetimeConsumed) {
+  EnduranceTracker t(2, 100.0);
+  t.record(0, NvmWriteSource::kDemandWrite, 25);
+  EXPECT_DOUBLE_EQ(t.lifetime_consumed(), 0.25);
+}
+
+TEST(Endurance, UnlimitedEnduranceNeverConsumed) {
+  EnduranceTracker t(2, 0.0);
+  t.record(0, NvmWriteSource::kDemandWrite, 1000);
+  EXPECT_DOUBLE_EQ(t.lifetime_consumed(), 0.0);
+}
+
+TEST(Endurance, OutOfRangeFrameRejected) {
+  EnduranceTracker t(2, 0.0);
+  EXPECT_THROW(t.record(2, NvmWriteSource::kDemandWrite), std::logic_error);
+}
+
+TEST(StartGap, MappingIsInjective) {
+  StartGapRemapper r(16, 4);
+  for (int step = 0; step < 200; ++step) {
+    std::set<FrameId> used;
+    for (FrameId l = 0; l < 16; ++l) {
+      const FrameId p = r.physical(l);
+      EXPECT_LT(p, 17u);
+      EXPECT_TRUE(used.insert(p).second) << "collision at step " << step;
+    }
+    r.on_write();
+  }
+}
+
+TEST(StartGap, RotatesEveryInterval) {
+  StartGapRemapper r(8, 4);
+  EXPECT_EQ(r.rotations(), 0u);
+  for (int i = 0; i < 3; ++i) r.on_write();
+  EXPECT_EQ(r.rotations(), 0u);
+  r.on_write();
+  EXPECT_EQ(r.rotations(), 1u);
+  for (int i = 0; i < 4; ++i) r.on_write();
+  EXPECT_EQ(r.rotations(), 2u);
+}
+
+TEST(StartGap, EventuallyEveryPhysicalSlotBacksFrameZero) {
+  StartGapRemapper r(4, 1);
+  std::set<FrameId> slots;
+  for (int i = 0; i < 200; ++i) {
+    slots.insert(r.physical(0));
+    r.on_write();
+  }
+  EXPECT_EQ(slots.size(), 5u) << "gap rotation must sweep all slots";
+}
+
+TEST(StartGap, SpreadsWearOfAHotFrame) {
+  // Hammering one logical frame, the physical wear must spread over many
+  // slots when the gap rotates frequently.
+  StartGapRemapper r(8, 2);
+  std::vector<std::uint64_t> wear(9, 0);
+  for (int i = 0; i < 1000; ++i) {
+    ++wear[r.physical(3)];
+    r.on_write();
+  }
+  std::uint64_t max_wear = 0;
+  for (auto w : wear) max_wear = std::max(max_wear, w);
+  EXPECT_LT(max_wear, 1000u / 2) << "one slot absorbed too much wear";
+}
+
+TEST(StartGap, RejectsBadArguments) {
+  EXPECT_THROW(StartGapRemapper(0, 1), std::logic_error);
+  EXPECT_THROW(StartGapRemapper(4, 0), std::logic_error);
+  StartGapRemapper r(4, 1);
+  EXPECT_THROW(r.physical(4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::mem

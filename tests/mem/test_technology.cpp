@@ -1,0 +1,68 @@
+#include "mem/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::mem {
+namespace {
+
+TEST(Technology, TableIvDramRow) {
+  const auto& d = dram_table4();
+  EXPECT_EQ(d.name, "DRAM");
+  EXPECT_DOUBLE_EQ(d.read_latency_ns, 50);
+  EXPECT_DOUBLE_EQ(d.write_latency_ns, 50);
+  EXPECT_DOUBLE_EQ(d.read_energy_nj, 3.2);
+  EXPECT_DOUBLE_EQ(d.write_energy_nj, 3.2);
+  EXPECT_DOUBLE_EQ(d.static_power_j_per_gb_s, 1.0);
+}
+
+TEST(Technology, TableIvPcmRow) {
+  const auto& n = pcm_table4();
+  EXPECT_DOUBLE_EQ(n.read_latency_ns, 100);
+  EXPECT_DOUBLE_EQ(n.write_latency_ns, 350);
+  EXPECT_DOUBLE_EQ(n.read_energy_nj, 6.4);
+  EXPECT_DOUBLE_EQ(n.write_energy_nj, 32.0);
+  EXPECT_DOUBLE_EQ(n.static_power_j_per_gb_s, 0.1);
+  EXPECT_GT(n.endurance_cycles, 0.0);
+}
+
+TEST(Technology, AsymmetryRelationsFromThePaper) {
+  const auto& d = dram_table4();
+  const auto& n = pcm_table4();
+  // NVM writes are slower and costlier than reads; both worse than DRAM.
+  EXPECT_GT(n.write_latency_ns, n.read_latency_ns);
+  EXPECT_GT(n.write_energy_nj, n.read_energy_nj);
+  EXPECT_GT(n.read_latency_ns, d.read_latency_ns);
+  // NVM static power is 10x lower: the whole point of the hybrid.
+  EXPECT_LT(n.static_power_j_per_gb_s, d.static_power_j_per_gb_s / 5);
+}
+
+TEST(Technology, StaticPowerScalesWithCapacity) {
+  const auto& d = dram_table4();
+  EXPECT_DOUBLE_EQ(d.static_power(kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(d.static_power(kGiB / 2), 0.5);
+  EXPECT_DOUBLE_EQ(pcm_table4().static_power(kGiB), 0.1);
+}
+
+TEST(Technology, LatencyEnergyAccessors) {
+  const auto& n = pcm_table4();
+  EXPECT_DOUBLE_EQ(n.latency(false), 100);
+  EXPECT_DOUBLE_EQ(n.latency(true), 350);
+  EXPECT_DOUBLE_EQ(n.energy(false), 6.4);
+  EXPECT_DOUBLE_EQ(n.energy(true), 32.0);
+}
+
+TEST(Technology, ExtensionPresetsSane) {
+  for (const auto* t : {&stt_ram(), &rram()}) {
+    EXPECT_GT(t->read_latency_ns, 0);
+    EXPECT_GE(t->write_latency_ns, t->read_latency_ns);
+    EXPECT_GT(t->endurance_cycles, pcm_table4().endurance_cycles);
+  }
+}
+
+TEST(Technology, DiskDefaultsTo5ms) {
+  DiskModel disk;
+  EXPECT_DOUBLE_EQ(disk.access_latency_ns, 5e6);
+}
+
+}  // namespace
+}  // namespace hymem::mem

@@ -1,0 +1,72 @@
+#include "model/endurance_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "os/vmm.hpp"
+
+namespace hymem::model {
+namespace {
+
+TEST(EnduranceModel, BreakdownFromCounts) {
+  EventCounts c;
+  c.accesses = 100;
+  c.nvm_write_hits = 10;
+  c.fills_to_nvm = 2;
+  c.migrations_to_nvm = 3;
+  c.page_factor = 64;
+  const auto w = nvm_writes(c);
+  EXPECT_EQ(w.demand_writes, 10u);
+  EXPECT_EQ(w.fault_fill_writes, 128u);
+  EXPECT_EQ(w.migration_writes, 192u);
+  EXPECT_EQ(w.total(), 330u);
+}
+
+TEST(EnduranceModel, CrossCheckAgainstVmmTracker) {
+  // The model derived from event counts must agree with the wear tracker's
+  // ground truth, write for write.
+  os::VmmConfig cfg;
+  cfg.dram_frames = 2;
+  cfg.nvm_frames = 4;
+  os::Vmm vmm(cfg);
+  vmm.fault_in(1, Tier::kNvm);
+  vmm.fault_in(2, Tier::kDram);
+  vmm.access(1, AccessType::kWrite);
+  vmm.access(1, AccessType::kWrite);
+  vmm.access(2, AccessType::kWrite);  // DRAM write: not an NVM write
+  vmm.migrate(2, Tier::kNvm);
+  const auto counts = EventCounts::from_vmm(vmm, 5);
+  const auto w = nvm_writes(counts);
+  EXPECT_EQ(w.total(), vmm.nvm_endurance().total_writes());
+  EXPECT_EQ(w.demand_writes,
+            vmm.nvm_endurance().writes_from(mem::NvmWriteSource::kDemandWrite));
+  EXPECT_EQ(w.fault_fill_writes,
+            vmm.nvm_endurance().writes_from(mem::NvmWriteSource::kPageFault));
+  EXPECT_EQ(w.migration_writes,
+            vmm.nvm_endurance().writes_from(mem::NvmWriteSource::kMigration));
+}
+
+TEST(EnduranceModel, LifetimeInverselyProportionalToWriteRate) {
+  NvmWriteBreakdown w;
+  w.demand_writes = 1000;
+  const double life_slow = lifetime_seconds(w, 1e8, 100, 64, 10.0);
+  const double life_fast = lifetime_seconds(w, 1e8, 100, 64, 1.0);
+  EXPECT_NEAR(life_slow / life_fast, 10.0, 1e-9);
+}
+
+TEST(EnduranceModel, NoWritesMeansInfiniteLifetime) {
+  NvmWriteBreakdown w;
+  EXPECT_TRUE(std::isinf(lifetime_seconds(w, 1e8, 100, 64, 1.0)));
+}
+
+TEST(EnduranceModel, HandComputedLifetime) {
+  NvmWriteBreakdown w;
+  w.demand_writes = 100;
+  // Budget = 1e6 cycles * 10 pages * 64 cells = 6.4e8 writes.
+  // Rate = 100 writes / 2 s = 50 writes/s. Lifetime = 1.28e7 s.
+  EXPECT_NEAR(lifetime_seconds(w, 1e6, 10, 64, 2.0), 6.4e8 / 50.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hymem::model

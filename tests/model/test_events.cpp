@@ -1,0 +1,59 @@
+#include "model/events.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::model {
+namespace {
+
+os::VmmConfig small_config() {
+  os::VmmConfig c;
+  c.dram_frames = 2;
+  c.nvm_frames = 4;
+  return c;
+}
+
+TEST(Events, FromVmmCollectsEverything) {
+  os::Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kDram);
+  vmm.fault_in(2, Tier::kNvm);
+  vmm.access(1, AccessType::kRead);
+  vmm.access(1, AccessType::kWrite);
+  vmm.access(2, AccessType::kRead);
+  vmm.access(2, AccessType::kWrite);
+  vmm.migrate(2, Tier::kDram);
+  vmm.migrate(1, Tier::kNvm);
+  // 4 demand accesses + 2 faults = 6 "requests" for the identity check.
+  const auto counts = EventCounts::from_vmm(vmm, 6);
+  EXPECT_EQ(counts.dram_read_hits, 1u);
+  EXPECT_EQ(counts.dram_write_hits, 1u);
+  EXPECT_EQ(counts.nvm_read_hits, 1u);
+  EXPECT_EQ(counts.nvm_write_hits, 1u);
+  EXPECT_EQ(counts.page_faults, 2u);
+  EXPECT_EQ(counts.fills_to_dram, 1u);
+  EXPECT_EQ(counts.fills_to_nvm, 1u);
+  EXPECT_EQ(counts.migrations_to_dram, 1u);
+  EXPECT_EQ(counts.migrations_to_nvm, 1u);
+  EXPECT_EQ(counts.page_factor, 64u);
+  EXPECT_EQ(counts.hits(), 4u);
+  EXPECT_EQ(counts.migrations(), 2u);
+}
+
+TEST(Events, ConservationViolationDetected) {
+  os::Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kDram);
+  vmm.access(1, AccessType::kRead);
+  // Claiming 10 accesses when only 1 hit + 1 fault happened must throw.
+  EXPECT_THROW(EventCounts::from_vmm(vmm, 10), std::logic_error);
+}
+
+TEST(Events, DirtyEvictionsCounted) {
+  os::Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kDram);
+  vmm.access(1, AccessType::kWrite);
+  vmm.evict(1);
+  const auto counts = EventCounts::from_vmm(vmm, 2);
+  EXPECT_EQ(counts.dirty_evictions, 1u);
+}
+
+}  // namespace
+}  // namespace hymem::model

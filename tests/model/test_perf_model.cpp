@@ -1,0 +1,83 @@
+#include "model/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::model {
+namespace {
+
+ModelParams table4_params() {
+  ModelParams p;
+  p.page_factor = 64;
+  p.dram_bytes = 64 * 4096;
+  p.nvm_bytes = 576 * 4096;
+  return p;
+}
+
+TEST(PerfModel, PureDramHitsGiveDramLatency) {
+  EventCounts c;
+  c.accesses = 10;
+  c.dram_read_hits = 6;
+  c.dram_write_hits = 4;
+  c.page_factor = 64;
+  const auto b = amat(c, table4_params());
+  EXPECT_DOUBLE_EQ(b.hit_ns, 50.0);
+  EXPECT_DOUBLE_EQ(b.fault_ns, 0.0);
+  EXPECT_DOUBLE_EQ(b.migration_ns, 0.0);
+  EXPECT_DOUBLE_EQ(b.total(), 50.0);
+}
+
+TEST(PerfModel, HandComputedEquationOne) {
+  // 4 accesses: 1 DRAM read (50), 1 NVM read (100), 1 NVM write (350),
+  // 1 miss (5e6). Plus 1 migration each way at PageFactor 64:
+  //   N->D: 64*(100+50) = 9600; D->N: 64*(50+350) = 25600.
+  EventCounts c;
+  c.accesses = 4;
+  c.dram_read_hits = 1;
+  c.nvm_read_hits = 1;
+  c.nvm_write_hits = 1;
+  c.page_faults = 1;
+  c.fills_to_dram = 1;
+  c.migrations_to_dram = 1;
+  c.migrations_to_nvm = 1;
+  c.page_factor = 64;
+  const auto b = amat(c, table4_params());
+  EXPECT_DOUBLE_EQ(b.hit_ns, (50.0 + 100.0 + 350.0) / 4);
+  EXPECT_DOUBLE_EQ(b.fault_ns, 5e6 / 4);
+  EXPECT_DOUBLE_EQ(b.migration_ns, (9600.0 + 25600.0) / 4);
+  EXPECT_DOUBLE_EQ(b.request_ns(), b.hit_ns + b.fault_ns);
+}
+
+TEST(PerfModel, MigrationTermScalesWithPageFactor) {
+  EventCounts c;
+  c.accesses = 1;
+  c.dram_read_hits = 1;
+  c.migrations_to_dram = 1;
+  c.page_factor = 64;
+  const auto small = amat(c, table4_params());
+  c.page_factor = 128;
+  const auto large = amat(c, table4_params());
+  EXPECT_DOUBLE_EQ(large.migration_ns, 2 * small.migration_ns);
+}
+
+TEST(PerfModel, EmptyRunRejected) {
+  EventCounts c;
+  EXPECT_THROW(amat(c, table4_params()), std::logic_error);
+}
+
+TEST(PerfModel, ModelParamsFromVmm) {
+  os::VmmConfig cfg;
+  cfg.dram_frames = 10;
+  cfg.nvm_frames = 90;
+  cfg.page_size = 4096;
+  cfg.access_granularity = 64;
+  os::Vmm vmm(cfg);
+  const auto p = ModelParams::from_vmm(vmm);
+  EXPECT_EQ(p.page_factor, 64u);
+  EXPECT_EQ(p.dram_bytes, 10u * 4096);
+  EXPECT_EQ(p.nvm_bytes, 90u * 4096);
+  EXPECT_DOUBLE_EQ(p.disk_latency_ns, 5e6);
+  EXPECT_EQ(p.dram.name, "DRAM");
+}
+
+}  // namespace
+}  // namespace hymem::model

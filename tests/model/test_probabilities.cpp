@@ -1,0 +1,66 @@
+#include "model/probabilities.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::model {
+namespace {
+
+EventCounts sample_counts() {
+  EventCounts c;
+  c.accesses = 100;
+  c.dram_read_hits = 30;
+  c.dram_write_hits = 20;
+  c.nvm_read_hits = 24;
+  c.nvm_write_hits = 6;
+  c.page_faults = 20;
+  c.fills_to_dram = 15;
+  c.fills_to_nvm = 5;
+  c.migrations_to_dram = 4;
+  c.migrations_to_nvm = 4;
+  c.page_factor = 64;
+  return c;
+}
+
+TEST(Probabilities, TableIValues) {
+  const auto p = probabilities(sample_counts());
+  EXPECT_DOUBLE_EQ(p.hit_dram, 0.5);
+  EXPECT_DOUBLE_EQ(p.hit_nvm, 0.3);
+  EXPECT_DOUBLE_EQ(p.miss, 0.2);
+  EXPECT_DOUBLE_EQ(p.read_dram, 0.6);
+  EXPECT_DOUBLE_EQ(p.write_dram, 0.4);
+  EXPECT_DOUBLE_EQ(p.read_nvm, 0.8);
+  EXPECT_DOUBLE_EQ(p.write_nvm, 0.2);
+  EXPECT_DOUBLE_EQ(p.mig_to_dram, 0.04);
+  EXPECT_DOUBLE_EQ(p.mig_to_nvm, 0.04);
+  EXPECT_DOUBLE_EQ(p.disk_to_dram, 0.75);
+  EXPECT_DOUBLE_EQ(p.disk_to_nvm, 0.25);
+}
+
+TEST(Probabilities, PartitionOfUnity) {
+  const auto p = probabilities(sample_counts());
+  EXPECT_TRUE(p.is_consistent());
+  EXPECT_NEAR(p.read_dram + p.write_dram, 1.0, 1e-12);
+  EXPECT_NEAR(p.read_nvm + p.write_nvm, 1.0, 1e-12);
+  EXPECT_NEAR(p.disk_to_dram + p.disk_to_nvm, 1.0, 1e-12);
+}
+
+TEST(Probabilities, ZeroDenominatorsAreZero) {
+  EventCounts c;
+  c.accesses = 10;
+  c.dram_read_hits = 10;  // no NVM hits, no faults
+  const auto p = probabilities(c);
+  EXPECT_DOUBLE_EQ(p.read_nvm, 0.0);
+  EXPECT_DOUBLE_EQ(p.disk_to_dram, 0.0);
+  EXPECT_TRUE(p.is_consistent());
+}
+
+TEST(Probabilities, InconsistencyDetectable) {
+  EventCounts c;
+  c.accesses = 10;
+  c.dram_read_hits = 3;  // 7 accesses unaccounted
+  const auto p = probabilities(c);
+  EXPECT_FALSE(p.is_consistent());
+}
+
+}  // namespace
+}  // namespace hymem::model

@@ -1,0 +1,77 @@
+#include "model/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::model {
+namespace {
+
+EventCounts sample_counts() {
+  EventCounts c;
+  c.accesses = 100;
+  c.dram_read_hits = 50;
+  c.nvm_read_hits = 20;
+  c.nvm_write_hits = 20;
+  c.page_faults = 10;
+  c.fills_to_dram = 10;
+  c.migrations_to_dram = 2;
+  c.migrations_to_nvm = 2;
+  c.page_factor = 64;
+  return c;
+}
+
+ModelParams base_params() {
+  ModelParams p;
+  p.page_factor = 64;
+  p.dram_bytes = 1 << 20;
+  p.nvm_bytes = 10 << 20;
+  return p;
+}
+
+TEST(WhatIf, BasePointMatchesDirectEvaluation) {
+  const auto counts = sample_counts();
+  const auto params = base_params();
+  const auto points = sweep_nvm_write_latency(counts, params, 1.0,
+                                              {params.nvm.write_latency_ns});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].amat.total(), amat(counts, params).total());
+  EXPECT_DOUBLE_EQ(points[0].power.total(),
+                   appr(counts, params, 1.0).total());
+}
+
+TEST(WhatIf, NvmWriteLatencyMonotone) {
+  const auto points = sweep_nvm_write_latency(sample_counts(), base_params(),
+                                              1.0, {100, 200, 350, 700});
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].amat.total(), points[i - 1].amat.total());
+    // Power is untouched by a latency change... except through nothing:
+    EXPECT_DOUBLE_EQ(points[i].power.hit_nj, points[0].power.hit_nj);
+  }
+}
+
+TEST(WhatIf, NvmWriteEnergyAffectsPowerNotLatency) {
+  const auto points = sweep_nvm_write_energy(sample_counts(), base_params(),
+                                             1.0, {16, 32, 64});
+  EXPECT_DOUBLE_EQ(points[0].amat.total(), points[2].amat.total());
+  EXPECT_LT(points[0].power.total(), points[2].power.total());
+}
+
+TEST(WhatIf, DiskLatencyScalesFaultTermOnly) {
+  const auto points = sweep_disk_latency(sample_counts(), base_params(), 1.0,
+                                         {1e6, 5e6});
+  EXPECT_DOUBLE_EQ(points[1].amat.fault_ns, 5 * points[0].amat.fault_ns);
+  EXPECT_DOUBLE_EQ(points[0].amat.hit_ns, points[1].amat.hit_ns);
+  EXPECT_DOUBLE_EQ(points[0].amat.migration_ns, points[1].amat.migration_ns);
+}
+
+TEST(WhatIf, CustomMutator) {
+  const auto points =
+      sweep(sample_counts(), base_params(), 0.0, {1.0, 2.0},
+            [](ModelParams p, double factor) {
+              p.dram.read_latency_ns *= factor;
+              return p;
+            });
+  EXPECT_LT(points[0].amat.hit_ns, points[1].amat.hit_ns);
+}
+
+}  // namespace
+}  // namespace hymem::model

@@ -1,0 +1,69 @@
+#include "os/frame_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hymem::os {
+namespace {
+
+TEST(FrameAllocator, AllocatesDistinctFrames) {
+  FrameAllocator alloc(4);
+  std::set<FrameId> frames;
+  for (int i = 0; i < 4; ++i) {
+    const auto f = alloc.allocate();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_LT(*f, 4u);
+    EXPECT_TRUE(frames.insert(*f).second);
+  }
+  EXPECT_TRUE(alloc.full());
+  EXPECT_FALSE(alloc.allocate().has_value());
+}
+
+TEST(FrameAllocator, LowFramesFirst) {
+  FrameAllocator alloc(3);
+  EXPECT_EQ(alloc.allocate(), FrameId{0});
+  EXPECT_EQ(alloc.allocate(), FrameId{1});
+}
+
+TEST(FrameAllocator, ReleaseMakesFrameAvailable) {
+  FrameAllocator alloc(1);
+  const auto f = alloc.allocate();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(alloc.full());
+  alloc.release(*f);
+  EXPECT_FALSE(alloc.full());
+  EXPECT_EQ(alloc.allocate(), f);
+}
+
+TEST(FrameAllocator, Counts) {
+  FrameAllocator alloc(5);
+  EXPECT_EQ(alloc.capacity(), 5u);
+  EXPECT_EQ(alloc.free_count(), 5u);
+  alloc.allocate();
+  alloc.allocate();
+  EXPECT_EQ(alloc.allocated(), 2u);
+  EXPECT_EQ(alloc.free_count(), 3u);
+}
+
+TEST(FrameAllocator, DoubleFreeDetected) {
+  FrameAllocator alloc(2);
+  const auto f = alloc.allocate();
+  alloc.release(*f);
+  EXPECT_THROW(alloc.release(*f), std::logic_error);
+}
+
+TEST(FrameAllocator, ReleaseOfNeverAllocatedDetected) {
+  FrameAllocator alloc(2);
+  EXPECT_THROW(alloc.release(0), std::logic_error);
+  EXPECT_THROW(alloc.release(5), std::logic_error);
+}
+
+TEST(FrameAllocator, ZeroCapacity) {
+  FrameAllocator alloc(0);
+  EXPECT_TRUE(alloc.full());
+  EXPECT_FALSE(alloc.allocate().has_value());
+}
+
+}  // namespace
+}  // namespace hymem::os

@@ -1,0 +1,71 @@
+#include "os/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::os {
+namespace {
+
+TEST(PageTable, MapLookupUnmap) {
+  PageTable pt;
+  EXPECT_FALSE(pt.is_resident(7));
+  pt.map(7, Tier::kDram, 3);
+  ASSERT_TRUE(pt.is_resident(7));
+  const auto entry = pt.lookup(7);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->tier, Tier::kDram);
+  EXPECT_EQ(entry->frame, 3u);
+  EXPECT_FALSE(entry->dirty);
+  const auto removed = pt.unmap(7);
+  EXPECT_EQ(removed.frame, 3u);
+  EXPECT_FALSE(pt.is_resident(7));
+}
+
+TEST(PageTable, ResidentCountsPerTier) {
+  PageTable pt;
+  pt.map(1, Tier::kDram, 0);
+  pt.map(2, Tier::kNvm, 0);
+  pt.map(3, Tier::kNvm, 1);
+  EXPECT_EQ(pt.resident_pages(), 3u);
+  EXPECT_EQ(pt.resident_in(Tier::kDram), 1u);
+  EXPECT_EQ(pt.resident_in(Tier::kNvm), 2u);
+  pt.unmap(2);
+  EXPECT_EQ(pt.resident_in(Tier::kNvm), 1u);
+}
+
+TEST(PageTable, RemapKeepsDirtyBit) {
+  PageTable pt;
+  pt.map(5, Tier::kNvm, 2, /*dirty=*/true);
+  pt.remap(5, Tier::kDram, 9);
+  const auto entry = pt.lookup(5);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->tier, Tier::kDram);
+  EXPECT_EQ(entry->frame, 9u);
+  EXPECT_TRUE(entry->dirty);
+  EXPECT_EQ(pt.resident_in(Tier::kDram), 1u);
+  EXPECT_EQ(pt.resident_in(Tier::kNvm), 0u);
+}
+
+TEST(PageTable, FindAllowsInPlaceUpdate) {
+  PageTable pt;
+  pt.map(5, Tier::kDram, 2);
+  PageTableEntry* entry = pt.find(5);
+  ASSERT_NE(entry, nullptr);
+  entry->dirty = true;
+  EXPECT_TRUE(pt.lookup(5)->dirty);
+  EXPECT_EQ(pt.find(99), nullptr);
+}
+
+TEST(PageTable, DoubleMapRejected) {
+  PageTable pt;
+  pt.map(1, Tier::kDram, 0);
+  EXPECT_THROW(pt.map(1, Tier::kNvm, 1), std::logic_error);
+}
+
+TEST(PageTable, UnmapMissingRejected) {
+  PageTable pt;
+  EXPECT_THROW(pt.unmap(1), std::logic_error);
+  EXPECT_THROW(pt.remap(1, Tier::kDram, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::os

@@ -1,0 +1,73 @@
+#include "os/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::os {
+namespace {
+
+TlbConfig tiny() { return {.entries = 8, .associativity = 2}; }
+
+TEST(Tlb, MissThenHit) {
+  Tlb tlb(tiny());
+  EXPECT_FALSE(tlb.lookup(5));
+  EXPECT_TRUE(tlb.lookup(5));
+  EXPECT_EQ(tlb.stats().hits, 1u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(tlb.stats().hit_ratio(), 0.5);
+}
+
+TEST(Tlb, LruEvictionWithinSet) {
+  Tlb tlb(tiny());  // 4 sets, 2 ways; pages with equal low bits share a set
+  tlb.lookup(0);
+  tlb.lookup(4);
+  tlb.lookup(0);   // 4 becomes set-LRU
+  tlb.lookup(8);   // evicts 4
+  EXPECT_TRUE(tlb.lookup(0));
+  EXPECT_FALSE(tlb.lookup(4));
+}
+
+TEST(Tlb, ShootdownInvalidates) {
+  Tlb tlb(tiny());
+  tlb.lookup(3);
+  EXPECT_TRUE(tlb.shootdown(3));
+  EXPECT_FALSE(tlb.shootdown(3)) << "second shootdown finds nothing";
+  EXPECT_FALSE(tlb.lookup(3)) << "entry gone after shootdown";
+  EXPECT_EQ(tlb.stats().shootdowns, 1u);
+}
+
+TEST(Tlb, FlushDropsAll) {
+  Tlb tlb(tiny());
+  for (PageId p = 0; p < 6; ++p) tlb.lookup(p);
+  EXPECT_GT(tlb.valid_entries(), 0u);
+  tlb.flush();
+  EXPECT_EQ(tlb.valid_entries(), 0u);
+}
+
+TEST(Tlb, DistinctSetsDoNotInterfere) {
+  Tlb tlb(tiny());
+  tlb.lookup(0);
+  tlb.lookup(1);  // different set
+  tlb.lookup(4);
+  tlb.lookup(8);  // churns set 0 only
+  EXPECT_TRUE(tlb.lookup(1));
+}
+
+TEST(Tlb, HighLocalityStreamHitsOften) {
+  Tlb tlb(TlbConfig{.entries = 64, .associativity = 4});
+  for (int round = 0; round < 100; ++round) {
+    for (PageId p = 0; p < 32; ++p) tlb.lookup(p);
+  }
+  EXPECT_GT(tlb.stats().hit_ratio(), 0.95);
+}
+
+TEST(Tlb, InvalidGeometryRejected) {
+  EXPECT_THROW(Tlb(TlbConfig{.entries = 0, .associativity = 1}),
+               std::logic_error);
+  EXPECT_THROW(Tlb(TlbConfig{.entries = 7, .associativity = 2}),
+               std::logic_error);
+  EXPECT_THROW(Tlb(TlbConfig{.entries = 24, .associativity = 4}),
+               std::logic_error);  // 6 sets: not a power of two
+}
+
+}  // namespace
+}  // namespace hymem::os

@@ -1,0 +1,197 @@
+#include "os/vmm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::os {
+namespace {
+
+VmmConfig small_config() {
+  VmmConfig c;
+  c.dram_frames = 2;
+  c.nvm_frames = 4;
+  c.page_size = 4096;
+  c.access_granularity = 64;
+  return c;
+}
+
+TEST(Vmm, FaultInMakesResident) {
+  Vmm vmm(small_config());
+  EXPECT_FALSE(vmm.is_resident(1));
+  const Nanoseconds lat = vmm.fault_in(1, Tier::kDram);
+  EXPECT_DOUBLE_EQ(lat, 5e6);  // only the disk delay is visible
+  EXPECT_TRUE(vmm.is_resident(1));
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  EXPECT_EQ(vmm.resident(Tier::kDram), 1u);
+  EXPECT_EQ(vmm.disk().page_ins(), 1u);
+}
+
+TEST(Vmm, FaultChargesFillEnergyButNotLatency) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kNvm);
+  // 64 transfer writes into NVM (energy side of Eq. 2 terms 3-4).
+  EXPECT_EQ(vmm.device(Tier::kNvm).counters().transfer_writes, 64u);
+  EXPECT_EQ(vmm.device(Tier::kNvm).counters().demand_writes, 0u);
+}
+
+TEST(Vmm, AccessLatenciesMatchTechnology) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kDram);
+  vmm.fault_in(2, Tier::kNvm);
+  EXPECT_DOUBLE_EQ(vmm.access(1, AccessType::kRead), 50);
+  EXPECT_DOUBLE_EQ(vmm.access(1, AccessType::kWrite), 50);
+  EXPECT_DOUBLE_EQ(vmm.access(2, AccessType::kRead), 100);
+  EXPECT_DOUBLE_EQ(vmm.access(2, AccessType::kWrite), 350);
+  EXPECT_EQ(vmm.device(Tier::kDram).counters().demand_reads, 1u);
+  EXPECT_EQ(vmm.device(Tier::kNvm).counters().demand_writes, 1u);
+}
+
+TEST(Vmm, WriteSetsDirtyAndEvictionPagesOut) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kDram);
+  vmm.access(1, AccessType::kWrite);
+  vmm.evict(1);
+  EXPECT_EQ(vmm.disk().page_outs(), 1u);
+  EXPECT_FALSE(vmm.is_resident(1));
+}
+
+TEST(Vmm, CleanEvictionDoesNotPageOut) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kDram);
+  vmm.access(1, AccessType::kRead);
+  vmm.evict(1);
+  EXPECT_EQ(vmm.disk().page_outs(), 0u);
+}
+
+TEST(Vmm, TouchDirtyWithoutAccessCounting) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kDram);
+  vmm.touch_dirty(1);
+  EXPECT_EQ(vmm.device(Tier::kDram).counters().demand_writes, 0u);
+  vmm.evict(1);
+  EXPECT_EQ(vmm.disk().page_outs(), 1u);
+}
+
+TEST(Vmm, MigrateMovesAndCharges) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kNvm);
+  const Nanoseconds lat = vmm.migrate(1, Tier::kDram);
+  // 64 NVM reads + 64 DRAM writes.
+  EXPECT_DOUBLE_EQ(lat, 64 * 100.0 + 64 * 50.0);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  EXPECT_EQ(vmm.dma_counters().migrations_nvm_to_dram, 1u);
+  EXPECT_EQ(vmm.resident(Tier::kNvm), 0u);
+  EXPECT_EQ(vmm.resident(Tier::kDram), 1u);
+}
+
+TEST(Vmm, MigrationFreesSourceFrame) {
+  VmmConfig cfg = small_config();
+  cfg.nvm_frames = 1;
+  Vmm vmm(cfg);
+  vmm.fault_in(1, Tier::kNvm);
+  EXPECT_FALSE(vmm.has_free_frame(Tier::kNvm));
+  vmm.migrate(1, Tier::kDram);
+  EXPECT_TRUE(vmm.has_free_frame(Tier::kNvm));
+}
+
+TEST(Vmm, SwapExchangesTiers) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kNvm);
+  vmm.fault_in(2, Tier::kDram);
+  const Nanoseconds lat = vmm.swap(1, 2);
+  // One migration each way.
+  EXPECT_DOUBLE_EQ(lat, (64 * 100.0 + 64 * 50.0) + (64 * 50.0 + 64 * 350.0));
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  EXPECT_EQ(vmm.tier_of(2), Tier::kNvm);
+  EXPECT_EQ(vmm.dma_counters().migrations_nvm_to_dram, 1u);
+  EXPECT_EQ(vmm.dma_counters().migrations_dram_to_nvm, 1u);
+}
+
+TEST(Vmm, SwapWorksWithBothModulesFull) {
+  VmmConfig cfg = small_config();
+  cfg.dram_frames = 1;
+  cfg.nvm_frames = 1;
+  Vmm vmm(cfg);
+  vmm.fault_in(1, Tier::kDram);
+  vmm.fault_in(2, Tier::kNvm);
+  EXPECT_NO_THROW(vmm.swap(2, 1));
+  EXPECT_EQ(vmm.tier_of(2), Tier::kDram);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kNvm);
+}
+
+TEST(Vmm, EnduranceTracksAllNvmWriteSources) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kNvm);  // 64 fault-fill writes
+  vmm.access(1, AccessType::kWrite);  // 1 demand write
+  vmm.fault_in(2, Tier::kDram);
+  vmm.migrate(2, Tier::kNvm);  // 64 migration writes
+  const auto& endurance = vmm.nvm_endurance();
+  EXPECT_EQ(endurance.writes_from(mem::NvmWriteSource::kPageFault), 64u);
+  EXPECT_EQ(endurance.writes_from(mem::NvmWriteSource::kDemandWrite), 1u);
+  EXPECT_EQ(endurance.writes_from(mem::NvmWriteSource::kMigration), 64u);
+  EXPECT_EQ(endurance.total_writes(), 129u);
+}
+
+TEST(Vmm, WearLevelingSpreadsAcrossSpareSlot) {
+  VmmConfig cfg = small_config();
+  cfg.wear_leveling = true;
+  cfg.wear_gap_interval = 1;
+  Vmm vmm(cfg);
+  vmm.fault_in(1, Tier::kNvm);
+  for (int i = 0; i < 50; ++i) vmm.access(1, AccessType::kWrite);
+  // With rotation every write, the hot page's wear spreads over slots.
+  EXPECT_LT(vmm.nvm_endurance().wear_imbalance(), 60.0);
+  EXPECT_GT(vmm.nvm_endurance().total_writes(), 50u);
+}
+
+TEST(Vmm, PreconditionsEnforced) {
+  Vmm vmm(small_config());
+  EXPECT_THROW(vmm.access(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(vmm.migrate(1, Tier::kDram), std::logic_error);
+  EXPECT_THROW(vmm.evict(1), std::logic_error);
+  vmm.fault_in(1, Tier::kDram);
+  EXPECT_THROW(vmm.fault_in(1, Tier::kDram), std::logic_error);
+  EXPECT_THROW(vmm.migrate(1, Tier::kDram), std::logic_error);  // same tier
+}
+
+TEST(Vmm, FaultIntoFullModuleRejected) {
+  VmmConfig cfg = small_config();
+  cfg.dram_frames = 1;
+  Vmm vmm(cfg);
+  vmm.fault_in(1, Tier::kDram);
+  EXPECT_THROW(vmm.fault_in(2, Tier::kDram), std::logic_error);
+}
+
+TEST(Vmm, PageFactorDerived) {
+  Vmm vmm(small_config());
+  EXPECT_EQ(vmm.page_factor(), 64u);
+}
+
+
+TEST(Vmm, SwapPreservesDirtyBits) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kNvm);
+  vmm.fault_in(2, Tier::kDram);
+  vmm.access(1, AccessType::kWrite);  // 1 dirty in NVM
+  vmm.swap(1, 2);                     // 1 -> DRAM, 2 -> NVM
+  vmm.evict(1);
+  EXPECT_EQ(vmm.disk().page_outs(), 1u) << "dirty bit must travel with 1";
+  vmm.evict(2);
+  EXPECT_EQ(vmm.disk().page_outs(), 1u) << "2 was never written";
+}
+
+TEST(Vmm, ResetAccountingKeepsResidency) {
+  Vmm vmm(small_config());
+  vmm.fault_in(1, Tier::kDram);
+  vmm.access(1, AccessType::kWrite);
+  vmm.reset_accounting();
+  EXPECT_TRUE(vmm.is_resident(1));
+  EXPECT_EQ(vmm.device(Tier::kDram).counters().total(), 0u);
+  EXPECT_EQ(vmm.disk().page_ins(), 0u);
+  EXPECT_EQ(vmm.nvm_endurance().total_writes(), 0u);
+  // Dirty state survives the counter reset.
+  vmm.evict(1);
+  EXPECT_EQ(vmm.disk().page_outs(), 1u);
+}
+
+}  // namespace
+}  // namespace hymem::os

@@ -1,0 +1,113 @@
+#include "policy/car.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace hymem::policy {
+namespace {
+
+void miss_insert(CarPolicy& car, PageId page) {
+  if (car.full()) {
+    const auto victim = car.select_victim();
+    ASSERT_TRUE(victim.has_value());
+    car.erase(*victim);
+  }
+  car.insert(page, AccessType::kRead);
+}
+
+TEST(Car, BasicInsertHitErase) {
+  CarPolicy car(4);
+  car.insert(1, AccessType::kRead);
+  EXPECT_TRUE(car.contains(1));
+  car.on_hit(1, AccessType::kRead);
+  car.erase(1);
+  EXPECT_FALSE(car.contains(1));
+}
+
+TEST(Car, NewPagesEnterRecencyClock) {
+  CarPolicy car(4);
+  car.insert(1, AccessType::kRead);
+  car.insert(2, AccessType::kRead);
+  EXPECT_EQ(car.t1_size(), 2u);
+  EXPECT_EQ(car.t2_size(), 0u);
+}
+
+TEST(Car, GhostHitMovesToFrequencyClock) {
+  CarPolicy car(2);
+  miss_insert(car, 1);
+  miss_insert(car, 2);
+  miss_insert(car, 3);  // evicts 1 (T1 head, unreferenced) into B1
+  EXPECT_FALSE(car.contains(1));
+  miss_insert(car, 1);  // B1 ghost hit -> joins T2
+  EXPECT_TRUE(car.contains(1));
+  EXPECT_GE(car.t2_size(), 1u);
+}
+
+TEST(Car, GhostRecencyHitGrowsTarget) {
+  CarPolicy car(2);
+  miss_insert(car, 1);
+  miss_insert(car, 2);
+  miss_insert(car, 3);
+  const double before = car.target_p();
+  miss_insert(car, 1);  // B1 hit: p grows
+  EXPECT_GT(car.target_p(), before);
+}
+
+TEST(Car, TargetStaysInBounds) {
+  CarPolicy car(8);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const PageId page = rng.next_below(64);
+    if (car.contains(page)) {
+      car.on_hit(page, AccessType::kRead);
+    } else {
+      miss_insert(car, page);
+    }
+  }
+  EXPECT_GE(car.target_p(), 0.0);
+  EXPECT_LE(car.target_p(), 8.0);
+  EXPECT_LE(car.size(), 8u);
+  EXPECT_LE(car.ghost_recency_size(), 8u);
+  EXPECT_LE(car.ghost_frequency_size(), 8u);
+}
+
+TEST(Car, ReferencedT1HeadGraduatesToT2) {
+  CarPolicy car(2);
+  miss_insert(car, 1);
+  miss_insert(car, 2);
+  car.on_hit(1, AccessType::kRead);
+  // Replace: head 1 is referenced -> moves to T2; victim is 2.
+  const auto victim = car.select_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, PageId{2});
+  EXPECT_GE(car.t2_size(), 1u);
+}
+
+TEST(Car, HitRatioReasonableOnSkewedStream) {
+  CarPolicy car(16);
+  Rng rng(9);
+  std::uint64_t hits = 0;
+  constexpr int kAccesses = 10000;
+  for (int i = 0; i < kAccesses; ++i) {
+    const PageId page =
+        rng.next_bool(0.8) ? rng.next_below(8) : 8 + rng.next_below(300);
+    if (car.contains(page)) {
+      ++hits;
+      car.on_hit(page, AccessType::kRead);
+    } else {
+      miss_insert(car, page);
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / kAccesses, 0.6);
+}
+
+TEST(Car, MisuseDetected) {
+  CarPolicy car(2);
+  EXPECT_THROW(car.on_hit(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(car.erase(1), std::logic_error);
+  EXPECT_THROW(CarPolicy(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

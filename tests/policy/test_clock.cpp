@@ -1,0 +1,104 @@
+#include "policy/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::policy {
+namespace {
+
+TEST(Clock, EvictsUnreferencedPage) {
+  ClockPolicy clock(3);
+  clock.insert(1, AccessType::kRead);
+  clock.insert(2, AccessType::kRead);
+  clock.insert(3, AccessType::kRead);
+  // No references: the hand takes the first page it visits.
+  const auto victim = clock.select_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_FALSE(clock.ref_bit(*victim));
+}
+
+TEST(Clock, SecondChanceForReferencedPages) {
+  ClockPolicy clock(3);
+  clock.insert(1, AccessType::kRead);
+  clock.insert(2, AccessType::kRead);
+  clock.insert(3, AccessType::kRead);
+  clock.on_hit(1, AccessType::kRead);
+  // 1 is referenced: victim must not be 1.
+  const auto victim = clock.select_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_NE(*victim, PageId{1});
+}
+
+TEST(Clock, SweepClearsReferenceBits) {
+  ClockPolicy clock(2);
+  clock.insert(1, AccessType::kRead);
+  clock.insert(2, AccessType::kRead);
+  clock.on_hit(1, AccessType::kRead);
+  clock.on_hit(2, AccessType::kRead);
+  // All referenced: the sweep clears bits and settles on some victim.
+  const auto victim = clock.select_victim();
+  ASSERT_TRUE(victim.has_value());
+  // After the sweep at least one bit was cleared.
+  EXPECT_FALSE(clock.ref_bit(*victim));
+}
+
+TEST(Clock, AllReferencedStillTerminates) {
+  ClockPolicy clock(5);
+  for (PageId p = 0; p < 5; ++p) {
+    clock.insert(p, AccessType::kRead);
+    clock.on_hit(p, AccessType::kRead);
+  }
+  EXPECT_TRUE(clock.select_victim().has_value());
+}
+
+TEST(Clock, EraseAtHandPosition) {
+  ClockPolicy clock(3);
+  clock.insert(1, AccessType::kRead);
+  clock.insert(2, AccessType::kRead);
+  clock.insert(3, AccessType::kRead);
+  const auto victim = clock.select_victim();
+  ASSERT_TRUE(victim.has_value());
+  clock.erase(*victim);  // hand pointed here
+  EXPECT_EQ(clock.size(), 2u);
+  EXPECT_TRUE(clock.select_victim().has_value());
+}
+
+TEST(Clock, EraseAllThenReuse) {
+  ClockPolicy clock(2);
+  clock.insert(1, AccessType::kRead);
+  clock.insert(2, AccessType::kRead);
+  clock.erase(1);
+  clock.erase(2);
+  EXPECT_EQ(clock.size(), 0u);
+  EXPECT_FALSE(clock.select_victim().has_value());
+  clock.insert(3, AccessType::kRead);
+  EXPECT_EQ(clock.select_victim(), PageId{3});
+}
+
+TEST(Clock, ApproximatesLruOnSkewedStream) {
+  // The frequently hit page should survive a long stream of insertions.
+  ClockPolicy clock(4);
+  clock.insert(100, AccessType::kRead);
+  for (PageId p = 0; p < 50; ++p) {
+    clock.on_hit(100, AccessType::kRead);
+    if (!clock.contains(p)) {
+      if (clock.full()) {
+        const auto victim = clock.select_victim();
+        ASSERT_TRUE(victim.has_value());
+        clock.erase(*victim);
+      }
+      clock.insert(p, AccessType::kRead);
+    }
+  }
+  EXPECT_TRUE(clock.contains(100));
+}
+
+TEST(Clock, MisuseDetected) {
+  ClockPolicy clock(1);
+  EXPECT_THROW(clock.on_hit(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(clock.ref_bit(1), std::logic_error);
+  clock.insert(1, AccessType::kRead);
+  EXPECT_THROW(clock.insert(1, AccessType::kRead), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

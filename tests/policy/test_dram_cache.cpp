@@ -1,0 +1,81 @@
+#include "policy/dram_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace hymem::policy {
+namespace {
+
+os::VmmConfig hybrid_config(std::uint64_t dram, std::uint64_t nvm) {
+  os::VmmConfig c;
+  c.dram_frames = dram;
+  c.nvm_frames = nvm;
+  return c;
+}
+
+TEST(DramCache, FaultsFillDram) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  DramCachePolicy policy(vmm);
+  policy.on_access(1, AccessType::kRead);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+}
+
+TEST(DramCache, OverflowDemotesToNvm) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  DramCachePolicy policy(vmm);
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);
+  policy.on_access(3, AccessType::kRead);  // demote LRU (1) to NVM
+  EXPECT_EQ(vmm.tier_of(1), Tier::kNvm);
+  EXPECT_EQ(vmm.tier_of(3), Tier::kDram);
+  EXPECT_EQ(vmm.dma_counters().migrations_dram_to_nvm, 1u);
+}
+
+TEST(DramCache, EveryNvmTouchPromotes) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  DramCachePolicy policy(vmm);
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);
+  policy.on_access(3, AccessType::kRead);  // 1 now in NVM
+  ASSERT_EQ(vmm.tier_of(1), Tier::kNvm);
+  policy.on_access(1, AccessType::kRead);  // promote-on-touch
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+}
+
+TEST(DramCache, NvmHitServedFromNvmBeforePromotion) {
+  os::Vmm vmm(hybrid_config(1, 4));
+  DramCachePolicy policy(vmm);
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(2, AccessType::kRead);  // 1 -> NVM
+  const auto nvm_reads_before = vmm.device(Tier::kNvm).counters().demand_reads;
+  policy.on_access(1, AccessType::kRead);
+  EXPECT_EQ(vmm.device(Tier::kNvm).counters().demand_reads,
+            nvm_reads_before + 1);
+}
+
+TEST(DramCache, MoreMigrationsThanThresholdedScheme) {
+  // The aggressive baseline migrates on every NVM touch; churny traffic
+  // makes it thrash.
+  os::Vmm vmm(hybrid_config(2, 8));
+  DramCachePolicy policy(vmm);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    policy.on_access(rng.next_below(10), AccessType::kRead);
+  }
+  EXPECT_GT(vmm.dma_counters().migrations(), 500u);
+}
+
+TEST(DramCache, CapacityInvariants) {
+  os::Vmm vmm(hybrid_config(2, 3));
+  DramCachePolicy policy(vmm);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    policy.on_access(rng.next_below(20), AccessType::kRead);
+    ASSERT_LE(vmm.resident(Tier::kDram), 2u);
+    ASSERT_LE(vmm.resident(Tier::kNvm), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace hymem::policy

@@ -1,0 +1,44 @@
+#include "policy/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::policy {
+namespace {
+
+TEST(Fifo, EvictsInInsertionOrder) {
+  FifoPolicy fifo(3);
+  fifo.insert(1, AccessType::kRead);
+  fifo.insert(2, AccessType::kRead);
+  fifo.insert(3, AccessType::kRead);
+  EXPECT_EQ(fifo.select_victim(), PageId{1});
+  fifo.erase(1);
+  EXPECT_EQ(fifo.select_victim(), PageId{2});
+}
+
+TEST(Fifo, HitsDoNotChangeOrder) {
+  FifoPolicy fifo(3);
+  fifo.insert(1, AccessType::kRead);
+  fifo.insert(2, AccessType::kRead);
+  fifo.on_hit(1, AccessType::kWrite);
+  fifo.on_hit(1, AccessType::kWrite);
+  EXPECT_EQ(fifo.select_victim(), PageId{1});
+}
+
+TEST(Fifo, ContainsAndSize) {
+  FifoPolicy fifo(2);
+  fifo.insert(4, AccessType::kRead);
+  EXPECT_TRUE(fifo.contains(4));
+  EXPECT_EQ(fifo.size(), 1u);
+  fifo.erase(4);
+  EXPECT_FALSE(fifo.contains(4));
+}
+
+TEST(Fifo, MisuseDetected) {
+  FifoPolicy fifo(1);
+  EXPECT_THROW(fifo.on_hit(9, AccessType::kRead), std::logic_error);
+  fifo.insert(9, AccessType::kRead);
+  EXPECT_THROW(fifo.insert(2, AccessType::kRead), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

@@ -1,0 +1,133 @@
+// Property suite run over EVERY hybrid-memory policy: conservation and
+// residency invariants that must hold regardless of the migration strategy.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "model/endurance_model.hpp"
+#include "model/events.hpp"
+#include "sim/policy_factory.hpp"
+#include "util/random.hpp"
+#include "util/zipf.hpp"
+
+namespace hymem {
+namespace {
+
+class HybridProperties : public ::testing::TestWithParam<std::string> {
+ protected:
+  static os::VmmConfig config_for(const std::string& name) {
+    os::VmmConfig c;
+    if (name.rfind("dram-only", 0) == 0) {
+      c.dram_frames = 24;
+      c.nvm_frames = 0;
+    } else if (name.rfind("nvm-only", 0) == 0) {
+      c.dram_frames = 0;
+      c.nvm_frames = 24;
+    } else {
+      c.dram_frames = 4;
+      c.nvm_frames = 20;
+    }
+    return c;
+  }
+};
+
+TEST_P(HybridProperties, ResidencyNeverExceedsCapacity) {
+  os::Vmm vmm(config_for(GetParam()));
+  const auto policy = sim::make_policy(GetParam(), vmm);
+  Rng rng(17);
+  ZipfSampler zipf(64, 0.8);
+  for (int i = 0; i < 5000; ++i) {
+    policy->on_access(zipf.sample(rng), rng.next_bool(0.3)
+                                            ? AccessType::kWrite
+                                            : AccessType::kRead);
+    ASSERT_LE(vmm.resident(Tier::kDram), vmm.frames(Tier::kDram));
+    ASSERT_LE(vmm.resident(Tier::kNvm), vmm.frames(Tier::kNvm));
+  }
+}
+
+TEST_P(HybridProperties, EventConservationHolds) {
+  os::Vmm vmm(config_for(GetParam()));
+  const auto policy = sim::make_policy(GetParam(), vmm);
+  Rng rng(23);
+  ZipfSampler zipf(80, 0.9);
+  constexpr std::uint64_t kAccesses = 4000;
+  for (std::uint64_t i = 0; i < kAccesses; ++i) {
+    policy->on_access(zipf.sample(rng), rng.next_bool(0.25)
+                                            ? AccessType::kWrite
+                                            : AccessType::kRead);
+  }
+  // from_vmm internally asserts hits + faults == accesses and
+  // fills == faults; reaching here means conservation held.
+  const auto counts = model::EventCounts::from_vmm(vmm, kAccesses);
+  EXPECT_EQ(counts.accesses, kAccesses);
+}
+
+TEST_P(HybridProperties, LatenciesAreNonNegativeAndFinite) {
+  os::Vmm vmm(config_for(GetParam()));
+  const auto policy = sim::make_policy(GetParam(), vmm);
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    const Nanoseconds lat =
+        policy->on_access(rng.next_below(60), AccessType::kRead);
+    ASSERT_GE(lat, 0.0);
+    ASSERT_LT(lat, 1e9);
+  }
+}
+
+TEST_P(HybridProperties, DeterministicAcrossRuns) {
+  auto run = [&] {
+    os::Vmm vmm(config_for(GetParam()));
+    const auto policy = sim::make_policy(GetParam(), vmm);
+    Rng rng(31);
+    ZipfSampler zipf(64, 0.7);
+    Nanoseconds total = 0;
+    for (int i = 0; i < 3000; ++i) {
+      total += policy->on_access(zipf.sample(rng), rng.next_bool(0.3)
+                                                       ? AccessType::kWrite
+                                                       : AccessType::kRead);
+    }
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST_P(HybridProperties, RepeatedHitsNeverFault) {
+  os::Vmm vmm(config_for(GetParam()));
+  const auto policy = sim::make_policy(GetParam(), vmm);
+  policy->on_access(1, AccessType::kRead);
+  const auto faults_before = vmm.disk().page_ins();
+  for (int i = 0; i < 100; ++i) policy->on_access(1, AccessType::kRead);
+  EXPECT_EQ(vmm.disk().page_ins(), faults_before);
+}
+
+TEST_P(HybridProperties, NvmWearMatchesEventAccounting) {
+  os::Vmm vmm(config_for(GetParam()));
+  const auto policy = sim::make_policy(GetParam(), vmm);
+  Rng rng(41);
+  constexpr std::uint64_t kAccesses = 3000;
+  for (std::uint64_t i = 0; i < kAccesses; ++i) {
+    policy->on_access(rng.next_below(70), rng.next_bool(0.4)
+                                              ? AccessType::kWrite
+                                              : AccessType::kRead);
+  }
+  const auto counts = model::EventCounts::from_vmm(vmm, kAccesses);
+  const auto writes = model::nvm_writes(counts);
+  EXPECT_EQ(writes.total(), vmm.nvm_endurance().total_writes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHybridPolicies, HybridProperties,
+                         ::testing::Values("dram-only", "nvm-only",
+                                           "clock-dwf", "two-lru",
+                                           "two-lru-adaptive",
+                                           "static-partition", "dram-cache",
+                                           "rank-mq"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hymem

@@ -1,0 +1,53 @@
+#include "policy/lfu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::policy {
+namespace {
+
+TEST(Lfu, EvictsLeastFrequentlyUsed) {
+  LfuPolicy lfu(3);
+  lfu.insert(1, AccessType::kRead);
+  lfu.insert(2, AccessType::kRead);
+  lfu.insert(3, AccessType::kRead);
+  lfu.on_hit(1, AccessType::kRead);
+  lfu.on_hit(1, AccessType::kRead);
+  lfu.on_hit(3, AccessType::kRead);
+  EXPECT_EQ(lfu.select_victim(), PageId{2});
+}
+
+TEST(Lfu, TiesBrokenByInsertionOrder) {
+  LfuPolicy lfu(2);
+  lfu.insert(5, AccessType::kRead);
+  lfu.insert(6, AccessType::kRead);
+  EXPECT_EQ(lfu.select_victim(), PageId{5});
+}
+
+TEST(Lfu, FrequencyTracking) {
+  LfuPolicy lfu(2);
+  lfu.insert(1, AccessType::kRead);
+  EXPECT_EQ(lfu.frequency(1), 1u);
+  lfu.on_hit(1, AccessType::kWrite);
+  lfu.on_hit(1, AccessType::kRead);
+  EXPECT_EQ(lfu.frequency(1), 3u);
+}
+
+TEST(Lfu, EraseAndReinsertResetsFrequency) {
+  LfuPolicy lfu(2);
+  lfu.insert(1, AccessType::kRead);
+  lfu.on_hit(1, AccessType::kRead);
+  lfu.erase(1);
+  lfu.insert(1, AccessType::kRead);
+  EXPECT_EQ(lfu.frequency(1), 1u);
+}
+
+TEST(Lfu, MisuseDetected) {
+  LfuPolicy lfu(1);
+  EXPECT_THROW(lfu.on_hit(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(lfu.frequency(1), std::logic_error);
+  lfu.insert(1, AccessType::kRead);
+  EXPECT_THROW(lfu.insert(2, AccessType::kRead), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

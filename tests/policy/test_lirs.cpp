@@ -1,0 +1,130 @@
+#include "policy/lirs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hymem::policy {
+namespace {
+
+template <typename Policy>
+std::uint64_t drive(Policy& policy, const std::vector<PageId>& stream) {
+  std::uint64_t hits = 0;
+  for (PageId page : stream) {
+    if (policy.contains(page)) {
+      ++hits;
+      policy.on_hit(page, AccessType::kRead);
+      continue;
+    }
+    if (policy.full()) {
+      const auto victim = policy.select_victim();
+      EXPECT_TRUE(victim.has_value());
+      policy.erase(*victim);
+    }
+    policy.insert(page, AccessType::kRead);
+  }
+  return hits;
+}
+
+TEST(Lirs, WarmupFillsLirSetFirst) {
+  LirsPolicy p(16);  // lir_target = 15
+  for (PageId i = 0; i < 15; ++i) p.insert(i, AccessType::kRead);
+  EXPECT_EQ(p.lir_count(), 15u);
+  EXPECT_EQ(p.hir_resident_count(), 0u);
+  p.insert(99, AccessType::kRead);
+  EXPECT_EQ(p.hir_resident_count(), 1u);
+}
+
+TEST(Lirs, VictimIsResidentHirFirst) {
+  LirsPolicy p(16);
+  for (PageId i = 0; i < 16; ++i) p.insert(i, AccessType::kRead);
+  // The only resident HIR page is 15.
+  EXPECT_EQ(p.select_victim(), PageId{15});
+}
+
+TEST(Lirs, QuickRefaultPromotesToLir) {
+  LirsPolicy p(4);  // lir_target = 3
+  for (PageId i = 0; i < 4; ++i) p.insert(i, AccessType::kRead);
+  // 3 is resident HIR. Evict it, then re-fault quickly: must come back LIR.
+  p.erase(*p.select_victim());
+  EXPECT_FALSE(p.contains(3));
+  p.insert(3, AccessType::kRead);
+  EXPECT_TRUE(p.contains(3));
+  EXPECT_EQ(p.lir_count(), 3u) << "ghost hit must re-enter as LIR";
+}
+
+TEST(Lirs, HirHitInStackSwapsWithLirBottom) {
+  LirsPolicy p(4);
+  for (PageId i = 0; i < 4; ++i) p.insert(i, AccessType::kRead);
+  EXPECT_EQ(p.hir_resident_count(), 1u);
+  p.on_hit(3, AccessType::kRead);  // HIR 3 is still in the stack
+  // 3 became LIR; one old LIR page was demoted to resident HIR.
+  EXPECT_EQ(p.lir_count(), 3u);
+  EXPECT_EQ(p.hir_resident_count(), 1u);
+  EXPECT_NE(p.select_victim(), PageId{3});
+}
+
+TEST(Lirs, ScanResistance) {
+  // LIRS' signature property: a one-pass scan must not displace the LIR set.
+  LirsPolicy p(16);
+  std::vector<PageId> stream;
+  // Establish a hot set 0..11 with reuse.
+  for (int lap = 0; lap < 6; ++lap) {
+    for (PageId page = 0; page < 12; ++page) stream.push_back(page);
+  }
+  // One-shot scan of 200 cold pages.
+  for (PageId page = 1000; page < 1200; ++page) stream.push_back(page);
+  // Hot set again: should still be resident.
+  drive(p, stream);
+  std::uint64_t still_resident = 0;
+  for (PageId page = 0; page < 12; ++page) still_resident += p.contains(page);
+  EXPECT_GE(still_resident, 10u) << "scan evicted the LIR set";
+}
+
+TEST(Lirs, BeatsNothingButStaysBounded) {
+  LirsPolicy p(32);
+  Rng rng(5);
+  std::vector<PageId> stream;
+  for (int i = 0; i < 20000; ++i) {
+    stream.push_back(rng.next_bool(0.7) ? rng.next_below(20)
+                                        : 20 + rng.next_below(500));
+  }
+  drive(p, stream);
+  EXPECT_LE(p.size(), 32u);
+  EXPECT_LE(p.nonresident_count(), 64u);
+}
+
+TEST(Lirs, HitRatioCompetitiveOnSkewedStream) {
+  LirsPolicy p(16);
+  Rng rng(8);
+  std::vector<PageId> stream;
+  for (int i = 0; i < 10000; ++i) {
+    stream.push_back(rng.next_bool(0.8) ? rng.next_below(8)
+                                        : 8 + rng.next_below(200));
+  }
+  const auto hits = drive(p, stream);
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(stream.size()),
+            0.6);
+}
+
+TEST(Lirs, EraseLirPageDirectly) {
+  LirsPolicy p(4);
+  for (PageId i = 0; i < 3; ++i) p.insert(i, AccessType::kRead);
+  p.erase(0);  // a LIR page (e.g. migrated away)
+  EXPECT_FALSE(p.contains(0));
+  EXPECT_EQ(p.lir_count(), 2u);
+}
+
+TEST(Lirs, MisuseDetected) {
+  EXPECT_THROW(LirsPolicy(1), std::logic_error);
+  LirsPolicy p(4);
+  EXPECT_THROW(p.on_hit(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(p.erase(1), std::logic_error);
+  p.insert(1, AccessType::kRead);
+  EXPECT_THROW(p.insert(1, AccessType::kRead), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

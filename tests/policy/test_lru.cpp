@@ -1,0 +1,96 @@
+#include "policy/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hymem::policy {
+namespace {
+
+std::vector<PageId> order(const LruPolicy& lru) {
+  std::vector<PageId> out;
+  lru.for_each_mru_to_lru([&out](PageId p) { out.push_back(p); });
+  return out;
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruPolicy lru(3);
+  lru.insert(1, AccessType::kRead);
+  lru.insert(2, AccessType::kRead);
+  lru.insert(3, AccessType::kRead);
+  EXPECT_EQ(lru.select_victim(), PageId{1});
+  lru.on_hit(1, AccessType::kRead);  // 2 becomes LRU
+  EXPECT_EQ(lru.select_victim(), PageId{2});
+}
+
+TEST(Lru, HitMovesToMruPosition) {
+  LruPolicy lru(3);
+  lru.insert(1, AccessType::kRead);
+  lru.insert(2, AccessType::kRead);
+  lru.insert(3, AccessType::kRead);
+  lru.on_hit(2, AccessType::kWrite);
+  EXPECT_EQ(order(lru), (std::vector<PageId>{2, 3, 1}));
+}
+
+TEST(Lru, SizeAndContains) {
+  LruPolicy lru(2);
+  EXPECT_EQ(lru.size(), 0u);
+  EXPECT_FALSE(lru.full());
+  lru.insert(7, AccessType::kRead);
+  EXPECT_TRUE(lru.contains(7));
+  EXPECT_FALSE(lru.contains(8));
+  lru.insert(8, AccessType::kRead);
+  EXPECT_TRUE(lru.full());
+}
+
+TEST(Lru, EraseRemovesAnywhere) {
+  LruPolicy lru(3);
+  lru.insert(1, AccessType::kRead);
+  lru.insert(2, AccessType::kRead);
+  lru.insert(3, AccessType::kRead);
+  lru.erase(2);
+  EXPECT_EQ(order(lru), (std::vector<PageId>{3, 1}));
+  EXPECT_FALSE(lru.contains(2));
+}
+
+TEST(Lru, VictimOfEmptyIsNull) {
+  LruPolicy lru(2);
+  EXPECT_FALSE(lru.select_victim().has_value());
+}
+
+TEST(Lru, StackInclusionProperty) {
+  // An LRU of capacity C+1 always contains everything an LRU of capacity C
+  // contains (Mattson). Simulate both with eviction-on-full.
+  LruPolicy small(4), big(5);
+  auto simulate = [](LruPolicy& lru, PageId page) {
+    if (lru.contains(page)) {
+      lru.on_hit(page, AccessType::kRead);
+      return;
+    }
+    if (lru.full()) lru.erase(*lru.select_victim());
+    lru.insert(page, AccessType::kRead);
+  };
+  std::uint64_t x = 42;
+  for (int i = 0; i < 3000; ++i) {
+    const PageId page = splitmix64(x) % 12;
+    simulate(small, page);
+    simulate(big, page);
+    small.for_each_mru_to_lru(
+        [&](PageId p) { ASSERT_TRUE(big.contains(p)); });
+  }
+}
+
+TEST(Lru, MisuseDetected) {
+  LruPolicy lru(1);
+  EXPECT_THROW(lru.on_hit(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(lru.erase(1), std::logic_error);
+  lru.insert(1, AccessType::kRead);
+  EXPECT_THROW(lru.insert(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(lru.insert(2, AccessType::kRead), std::logic_error);  // full
+  EXPECT_THROW(LruPolicy(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

@@ -1,0 +1,77 @@
+#include "policy/lru_k.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::policy {
+namespace {
+
+TEST(LruK, SingleReferencePagesEvictFirst) {
+  LruKPolicy p(3, 2);
+  p.insert(1, AccessType::kRead);
+  p.insert(2, AccessType::kRead);
+  p.insert(3, AccessType::kRead);
+  p.on_hit(1, AccessType::kRead);  // page 1 now has 2 references
+  // Pages 2 and 3 have one reference each; 2 is older.
+  EXPECT_EQ(p.select_victim(), PageId{2});
+}
+
+TEST(LruK, KthReferenceOrdersVictims) {
+  LruKPolicy p(2, 2);
+  p.insert(1, AccessType::kRead);  // t1
+  p.insert(2, AccessType::kRead);  // t2
+  p.on_hit(1, AccessType::kRead);  // t3: page1 kth = t1
+  p.on_hit(2, AccessType::kRead);  // t4: page2 kth = t2
+  // Both have K references; page 1's K-th reference (t1) is older.
+  EXPECT_EQ(p.select_victim(), PageId{1});
+  p.on_hit(1, AccessType::kRead);  // t5: page1 kth = t3 > t2
+  EXPECT_EQ(p.select_victim(), PageId{2});
+}
+
+TEST(LruK, KthReferenceAccessorZeroUntilKRefs) {
+  LruKPolicy p(2, 3);
+  p.insert(1, AccessType::kRead);
+  EXPECT_EQ(p.kth_reference(1), 0u);
+  p.on_hit(1, AccessType::kRead);
+  EXPECT_EQ(p.kth_reference(1), 0u);
+  p.on_hit(1, AccessType::kRead);
+  EXPECT_GT(p.kth_reference(1), 0u);
+}
+
+TEST(LruK, ScanResistance) {
+  // A stream of one-shot pages must not displace a page with history.
+  LruKPolicy p(4, 2);
+  p.insert(100, AccessType::kRead);
+  p.on_hit(100, AccessType::kRead);
+  p.on_hit(100, AccessType::kRead);
+  for (PageId scan = 0; scan < 50; ++scan) {
+    if (p.full()) {
+      const auto victim = p.select_victim();
+      ASSERT_TRUE(victim.has_value());
+      ASSERT_NE(*victim, PageId{100}) << "history page evicted by scan";
+      p.erase(*victim);
+    }
+    p.insert(scan, AccessType::kRead);
+  }
+  EXPECT_TRUE(p.contains(100));
+}
+
+TEST(LruK, KEqualsOneDegeneratesToLru) {
+  LruKPolicy p(3, 1);
+  p.insert(1, AccessType::kRead);
+  p.insert(2, AccessType::kRead);
+  p.insert(3, AccessType::kRead);
+  p.on_hit(1, AccessType::kRead);
+  EXPECT_EQ(p.select_victim(), PageId{2});
+}
+
+TEST(LruK, MisuseDetected) {
+  LruKPolicy p(1, 2);
+  EXPECT_THROW(p.on_hit(1, AccessType::kRead), std::logic_error);
+  p.insert(1, AccessType::kRead);
+  EXPECT_THROW(p.insert(2, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(LruKPolicy(0, 2), std::logic_error);
+  EXPECT_THROW(LruKPolicy(2, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

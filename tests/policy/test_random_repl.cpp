@@ -1,0 +1,53 @@
+#include "policy/random_repl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hymem::policy {
+namespace {
+
+TEST(RandomRepl, VictimIsTracked) {
+  RandomPolicy r(4, 1);
+  for (PageId p = 10; p < 14; ++p) r.insert(p, AccessType::kRead);
+  for (int i = 0; i < 50; ++i) {
+    const auto victim = r.select_victim();
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(r.contains(*victim));
+  }
+}
+
+TEST(RandomRepl, DeterministicUnderSeed) {
+  RandomPolicy a(4, 7), b(4, 7);
+  for (PageId p = 0; p < 4; ++p) {
+    a.insert(p, AccessType::kRead);
+    b.insert(p, AccessType::kRead);
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.select_victim(), b.select_victim());
+}
+
+TEST(RandomRepl, EventuallyPicksEveryPage) {
+  RandomPolicy r(4, 3);
+  for (PageId p = 0; p < 4; ++p) r.insert(p, AccessType::kRead);
+  std::set<PageId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(*r.select_victim());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RandomRepl, SwapRemoveKeepsIndexConsistent) {
+  RandomPolicy r(4, 1);
+  for (PageId p = 0; p < 4; ++p) r.insert(p, AccessType::kRead);
+  r.erase(1);  // middle erase triggers swap-with-last
+  EXPECT_FALSE(r.contains(1));
+  EXPECT_TRUE(r.contains(3));
+  r.erase(3);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RandomRepl, EmptyVictimIsNull) {
+  RandomPolicy r(2, 1);
+  EXPECT_FALSE(r.select_victim().has_value());
+}
+
+}  // namespace
+}  // namespace hymem::policy

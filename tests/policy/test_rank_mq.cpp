@@ -1,0 +1,110 @@
+#include "policy/rank_mq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace hymem::policy {
+namespace {
+
+os::VmmConfig hybrid_config(std::uint64_t dram, std::uint64_t nvm) {
+  os::VmmConfig c;
+  c.dram_frames = dram;
+  c.nvm_frames = nvm;
+  return c;
+}
+
+TEST(RankMq, LevelOfIsLogTwo) {
+  EXPECT_EQ(RankMqPolicy::level_of(0), 0u);
+  EXPECT_EQ(RankMqPolicy::level_of(1), 0u);
+  EXPECT_EQ(RankMqPolicy::level_of(2), 1u);
+  EXPECT_EQ(RankMqPolicy::level_of(3), 1u);
+  EXPECT_EQ(RankMqPolicy::level_of(4), 2u);
+  EXPECT_EQ(RankMqPolicy::level_of(255), 7u);
+  EXPECT_EQ(RankMqPolicy::level_of(1 << 20), RankMqPolicy::kLevels - 1);
+}
+
+TEST(RankMq, NewPagesFaultIntoNvm) {
+  os::Vmm vmm(hybrid_config(2, 8));
+  RankMqPolicy policy(vmm);
+  policy.on_access(1, AccessType::kRead);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kNvm);
+  EXPECT_EQ(vmm.dma_counters().disk_fills_to_dram, 0u);
+}
+
+TEST(RankMq, HotPageEarnsDram) {
+  os::Vmm vmm(hybrid_config(2, 8));
+  RankMqPolicy policy(vmm, /*promote_level=*/3);
+  // Level 3 needs count >= 8.
+  for (int i = 0; i < 6; ++i) {
+    policy.on_access(1, AccessType::kRead);
+    ASSERT_EQ(vmm.tier_of(1), Tier::kNvm) << "promoted too early at " << i;
+  }
+  for (int i = 0; i < 3; ++i) policy.on_access(1, AccessType::kRead);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  EXPECT_EQ(policy.promotions(), 1u);
+}
+
+TEST(RankMq, PromotionIntoFullDramRequiresColderVictim) {
+  os::Vmm vmm(hybrid_config(1, 8));
+  RankMqPolicy policy(vmm, 3);
+  // Make page 1 very hot: it lands in DRAM.
+  for (int i = 0; i < 10; ++i) policy.on_access(1, AccessType::kRead);
+  ASSERT_EQ(vmm.tier_of(1), Tier::kDram);
+  // Page 2 reaches the same level: must NOT displace the equally-hot 1.
+  for (int i = 0; i < 10; ++i) policy.on_access(2, AccessType::kRead);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kDram);
+  EXPECT_EQ(vmm.tier_of(2), Tier::kNvm);
+  // Page 3 gets much hotter than 1: it eventually swaps in.
+  for (int i = 0; i < 300; ++i) policy.on_access(3, AccessType::kRead);
+  EXPECT_EQ(vmm.tier_of(3), Tier::kDram);
+  EXPECT_EQ(vmm.tier_of(1), Tier::kNvm);
+  EXPECT_GT(policy.demotions(), 0u);
+}
+
+TEST(RankMq, EvictsColdestNvmOnPressure) {
+  os::Vmm vmm(hybrid_config(1, 2));
+  RankMqPolicy policy(vmm);
+  policy.on_access(1, AccessType::kRead);
+  policy.on_access(1, AccessType::kRead);  // page 1 count 2 (level 1)
+  policy.on_access(2, AccessType::kRead);  // count 1 (level 0)
+  policy.on_access(3, AccessType::kRead);  // NVM full: evict coldest (2)
+  EXPECT_FALSE(vmm.is_resident(2));
+  EXPECT_TRUE(vmm.is_resident(1)) << "higher-ranked page survived";
+}
+
+TEST(RankMq, ExpirationDecaysStalePages) {
+  os::Vmm vmm(hybrid_config(2, 16));
+  RankMqPolicy policy(vmm, /*promote_level=*/3, /*lifetime=*/64);
+  // Heat page 1, then hammer others long enough for its rank to decay.
+  for (int i = 0; i < 16; ++i) policy.on_access(1, AccessType::kRead);
+  Rng rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    policy.on_access(10 + rng.next_below(10), AccessType::kRead);
+  }
+  EXPECT_GT(policy.expirations(), 0u);
+}
+
+TEST(RankMq, CapacityInvariantsUnderChurn) {
+  os::Vmm vmm(hybrid_config(3, 9));
+  RankMqPolicy policy(vmm);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    policy.on_access(rng.next_below(40), rng.next_bool(0.3)
+                                             ? AccessType::kWrite
+                                             : AccessType::kRead);
+    ASSERT_LE(vmm.resident(Tier::kDram), 3u);
+    ASSERT_LE(vmm.resident(Tier::kNvm), 9u);
+  }
+}
+
+TEST(RankMq, RequiresBothModules) {
+  os::VmmConfig cfg;
+  cfg.dram_frames = 4;
+  cfg.nvm_frames = 0;
+  os::Vmm vmm(cfg);
+  EXPECT_THROW(RankMqPolicy{vmm}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

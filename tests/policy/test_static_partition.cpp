@@ -1,0 +1,79 @@
+#include "policy/static_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace hymem::policy {
+namespace {
+
+os::VmmConfig hybrid_config(std::uint64_t dram, std::uint64_t nvm) {
+  os::VmmConfig c;
+  c.dram_frames = dram;
+  c.nvm_frames = nvm;
+  return c;
+}
+
+TEST(StaticPartition, NeverMigrates) {
+  os::Vmm vmm(hybrid_config(4, 16));
+  StaticPartitionPolicy policy(vmm);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    policy.on_access(rng.next_below(60),
+                     rng.next_bool(0.3) ? AccessType::kWrite
+                                        : AccessType::kRead);
+  }
+  EXPECT_EQ(vmm.dma_counters().migrations(), 0u);
+}
+
+TEST(StaticPartition, HomeIsStable) {
+  os::Vmm vmm(hybrid_config(4, 16));
+  StaticPartitionPolicy policy(vmm);
+  for (PageId p = 0; p < 100; ++p) {
+    EXPECT_EQ(policy.home(p), policy.home(p));
+  }
+}
+
+TEST(StaticPartition, PagesLandInTheirHome) {
+  os::Vmm vmm(hybrid_config(8, 32));
+  StaticPartitionPolicy policy(vmm);
+  for (PageId p = 0; p < 30; ++p) {
+    policy.on_access(p, AccessType::kRead);
+    if (vmm.is_resident(p)) {
+      EXPECT_EQ(vmm.tier_of(p), policy.home(p)) << "page " << p;
+    }
+  }
+}
+
+TEST(StaticPartition, HomeDistributionTracksShare) {
+  os::Vmm vmm(hybrid_config(10, 90));
+  StaticPartitionPolicy policy(vmm);
+  std::uint64_t dram_homes = 0;
+  constexpr PageId kPages = 20000;
+  for (PageId p = 0; p < kPages; ++p) {
+    dram_homes += (policy.home(p) == Tier::kDram);
+  }
+  EXPECT_NEAR(static_cast<double>(dram_homes) / kPages, 0.10, 0.02);
+}
+
+TEST(StaticPartition, CapacityRespectedPerModule) {
+  os::Vmm vmm(hybrid_config(2, 4));
+  StaticPartitionPolicy policy(vmm);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    policy.on_access(rng.next_below(50), AccessType::kRead);
+    ASSERT_LE(vmm.resident(Tier::kDram), 2u);
+    ASSERT_LE(vmm.resident(Tier::kNvm), 4u);
+  }
+}
+
+TEST(StaticPartition, RequiresBothModules) {
+  os::VmmConfig cfg;
+  cfg.dram_frames = 0;
+  cfg.nvm_frames = 4;
+  os::Vmm vmm(cfg);
+  EXPECT_THROW(StaticPartitionPolicy{vmm}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

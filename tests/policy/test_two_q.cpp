@@ -1,0 +1,92 @@
+#include "policy/two_q.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::policy {
+namespace {
+
+TEST(TwoQ, NewPagesEnterProbation) {
+  TwoQPolicy p(8);
+  p.insert(1, AccessType::kRead);
+  EXPECT_EQ(p.probation_size(), 1u);
+  EXPECT_EQ(p.protected_size(), 0u);
+}
+
+TEST(TwoQ, ProbationHitsDoNotPromote) {
+  TwoQPolicy p(8);
+  p.insert(1, AccessType::kRead);
+  p.on_hit(1, AccessType::kRead);
+  p.on_hit(1, AccessType::kRead);
+  EXPECT_EQ(p.protected_size(), 0u) << "bursts must not earn protection";
+}
+
+TEST(TwoQ, GhostReferencePromotesToProtected) {
+  TwoQPolicy p(8);  // kin = 2
+  p.insert(1, AccessType::kRead);
+  p.insert(2, AccessType::kRead);
+  p.insert(3, AccessType::kRead);  // probation over share
+  const auto victim = p.select_victim();
+  ASSERT_EQ(victim, PageId{1});  // FIFO order
+  p.erase(1);                    // becomes a ghost
+  EXPECT_EQ(p.ghost_size(), 1u);
+  p.insert(1, AccessType::kRead);  // ghost hit
+  EXPECT_EQ(p.protected_size(), 1u);
+  EXPECT_EQ(p.ghost_size(), 0u);
+}
+
+TEST(TwoQ, ProtectedLruOrder) {
+  TwoQPolicy p(8);
+  // Promote 1 and 2 via the ghost path.
+  for (PageId page : {1u, 2u}) {
+    p.insert(page, AccessType::kRead);
+    p.erase(page);
+    p.insert(page, AccessType::kRead);
+  }
+  ASSERT_EQ(p.protected_size(), 2u);
+  p.on_hit(1, AccessType::kRead);  // 2 is now protected-LRU
+  // Drain probation first; then the protected victim must be 2.
+  while (p.probation_size() > 0) {
+    const auto victim = p.select_victim();
+    ASSERT_TRUE(victim.has_value());
+    if (!p.contains(*victim)) break;
+    p.erase(*victim);
+  }
+  EXPECT_EQ(p.select_victim(), PageId{2});
+}
+
+TEST(TwoQ, GhostCapacityBounded) {
+  TwoQPolicy p(4);  // kout = 2
+  for (PageId page = 0; page < 10; ++page) {
+    if (p.full()) p.erase(*p.select_victim());
+    p.insert(page, AccessType::kRead);
+  }
+  EXPECT_LE(p.ghost_size(), 2u);
+}
+
+TEST(TwoQ, ScanResistanceForProtectedPages) {
+  TwoQPolicy p(4);
+  p.insert(100, AccessType::kRead);
+  p.erase(100);
+  p.insert(100, AccessType::kRead);  // protected
+  ASSERT_EQ(p.protected_size(), 1u);
+  for (PageId scan = 0; scan < 50; ++scan) {
+    if (p.full()) {
+      const auto victim = p.select_victim();
+      ASSERT_TRUE(victim.has_value());
+      if (*victim == 100) break;
+      p.erase(*victim);
+    }
+    p.insert(scan, AccessType::kRead);
+  }
+  EXPECT_TRUE(p.contains(100)) << "scan displaced the protected page";
+}
+
+TEST(TwoQ, MisuseDetected) {
+  EXPECT_THROW(TwoQPolicy(1), std::logic_error);
+  TwoQPolicy p(2);
+  EXPECT_THROW(p.on_hit(1, AccessType::kRead), std::logic_error);
+  EXPECT_THROW(p.erase(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::policy

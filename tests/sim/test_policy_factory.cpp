@@ -1,0 +1,85 @@
+#include "sim/policy_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/migration_scheme.hpp"
+
+namespace hymem::sim {
+namespace {
+
+os::VmmConfig config_for(const std::string& name) {
+  os::VmmConfig c;
+  if (name.rfind("dram-only", 0) == 0) {
+    c.dram_frames = 8;
+    c.nvm_frames = 0;
+  } else if (name.rfind("nvm-only", 0) == 0) {
+    c.dram_frames = 0;
+    c.nvm_frames = 8;
+  } else {
+    c.dram_frames = 2;
+    c.nvm_frames = 6;
+  }
+  return c;
+}
+
+TEST(PolicyFactory, BuildsEveryAdvertisedPolicy) {
+  for (const auto& name : policy_names()) {
+    os::Vmm vmm(config_for(name));
+    const auto policy = make_policy(name, vmm);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(std::string(policy->name()).rfind(name, 0) == 0 ||
+                  name.rfind("dram-only", 0) == 0 ||
+                  name.rfind("nvm-only", 0) == 0,
+              true)
+        << name << " vs " << policy->name();
+    // Every policy must survive a few accesses.
+    for (PageId p = 0; p < 12; ++p) policy->on_access(p, AccessType::kRead);
+  }
+}
+
+TEST(PolicyFactory, SingleTierVariantsWithReplacementSuffix) {
+  for (const char* name :
+       {"dram-only:clock", "dram-only:clock-pro", "dram-only:car",
+        "nvm-only:lru", "nvm-only:fifo"}) {
+    os::Vmm vmm(config_for(name));
+    const auto policy = make_policy(name, vmm);
+    for (PageId p = 0; p < 12; ++p) policy->on_access(p, AccessType::kRead);
+    SUCCEED() << name;
+  }
+}
+
+TEST(PolicyFactory, IsSingleTierClassification) {
+  EXPECT_TRUE(is_single_tier("dram-only"));
+  EXPECT_TRUE(is_single_tier("nvm-only:clock"));
+  EXPECT_FALSE(is_single_tier("two-lru"));
+  EXPECT_FALSE(is_single_tier("clock-dwf"));
+}
+
+TEST(PolicyFactory, MigrationConfigForwarded) {
+  os::Vmm vmm(config_for("two-lru"));
+  core::MigrationConfig cfg;
+  cfg.read_threshold = 17;
+  const auto policy = make_policy("two-lru", vmm, cfg);
+  const auto* scheme = dynamic_cast<core::TwoLruMigrationPolicy*>(policy.get());
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_EQ(scheme->read_threshold(), 17u);
+}
+
+TEST(PolicyFactory, AdaptiveVariantHasController) {
+  os::Vmm vmm(config_for("two-lru-adaptive"));
+  const auto policy = make_policy("two-lru-adaptive", vmm);
+  const auto* scheme = dynamic_cast<core::TwoLruMigrationPolicy*>(policy.get());
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_NE(scheme->controller(), nullptr);
+}
+
+TEST(PolicyFactory, UnknownNamesRejected) {
+  os::Vmm vmm(config_for("two-lru"));
+  EXPECT_THROW(make_policy("nope", vmm), std::invalid_argument);
+  EXPECT_THROW(make_policy("dram-onlyx", vmm), std::invalid_argument);
+  os::Vmm vmm2(config_for("dram-only"));
+  EXPECT_THROW(make_policy("dram-only:bogus", vmm2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hymem::sim

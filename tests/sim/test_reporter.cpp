@@ -1,0 +1,72 @@
+#include "sim/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace hymem::sim {
+namespace {
+
+TEST(Stack, TotalSumsParts) {
+  Stack s{{0.5, 0.3, 0.2}};
+  EXPECT_DOUBLE_EQ(s.total(), 1.0);
+  EXPECT_DOUBLE_EQ(Stack{}.total(), 0.0);
+}
+
+FigureTable sample_table() {
+  FigureTable t("test figure", {"static", "dynamic"}, {"a", "b"});
+  t.add("w1", {Stack{{1.0, 1.0}}, Stack{{2.0, 2.0}}});
+  t.add("w2", {Stack{{2.0, 2.0}}, Stack{{4.0, 4.0}}});
+  return t;
+}
+
+TEST(FigureTable, MeansOverTotals) {
+  const auto t = sample_table();
+  // Series a totals: 2, 4 -> G-Mean sqrt(8)=2.828..., A-Mean 3.
+  EXPECT_NEAR(t.geomean_total(0), 2.8284271, 1e-6);
+  EXPECT_DOUBLE_EQ(t.amean_total(0), 3.0);
+  EXPECT_NEAR(t.geomean_total(1), 5.6568542, 1e-6);
+}
+
+TEST(FigureTable, PrintContainsWorkloadsAndMeans) {
+  const auto t = sample_table();
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("test figure"), std::string::npos);
+  EXPECT_NE(s.find("w1"), std::string::npos);
+  EXPECT_NE(s.find("G-Mean"), std::string::npos);
+  EXPECT_NE(s.find("A-Mean"), std::string::npos);
+  EXPECT_NE(s.find("a:static"), std::string::npos);
+  EXPECT_NE(s.find("b:total"), std::string::npos);
+}
+
+TEST(FigureTable, CsvRowPerWorkload) {
+  const auto t = sample_table();
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string s = os.str();
+  // header + 2 workloads = 3 lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+  EXPECT_NE(s.find("workload,a:static"), std::string::npos);
+}
+
+TEST(FigureTable, ArityMismatchRejected) {
+  FigureTable t("x", {"c1"}, {"s1"});
+  EXPECT_THROW(t.add("w", {Stack{{1.0}}, Stack{{1.0}}}), std::logic_error);
+  EXPECT_THROW(t.add("w", {Stack{{1.0, 2.0}}}), std::logic_error);
+}
+
+TEST(Reporter, MemoryCharacteristicsHeader) {
+  std::ostringstream os;
+  print_memory_characteristics(os, mem::dram_table4(), mem::pcm_table4());
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Table IV"), std::string::npos);
+  EXPECT_NE(s.find("DRAM"), std::string::npos);
+  EXPECT_NE(s.find("NVM(PCM)"), std::string::npos);
+  EXPECT_NE(s.find("100/350"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hymem::sim

@@ -1,0 +1,67 @@
+#include "sim/results_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "synth/workload_profile.hpp"
+
+namespace hymem::sim {
+namespace {
+
+RunResult sample_result() {
+  ExperimentConfig config;
+  config.policy = "two-lru";
+  return run_workload(synth::parsec_profile("bodytrack"), 256, config, 42);
+}
+
+TEST(ResultsIo, ContainsIdentificationAndSections) {
+  const std::string json = to_json(sample_result());
+  EXPECT_NE(json.find("\"workload\": \"bodytrack\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"two-lru\""), std::string::npos);
+  for (const char* section :
+       {"\"counts\"", "\"amat_ns\"", "\"appr_nj\"", "\"nvm_writes\""}) {
+    EXPECT_NE(json.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(ResultsIo, BalancedBracesAndQuotes) {
+  const std::string json = to_json(sample_result());
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(ResultsIo, NumbersMatchResult) {
+  const auto result = sample_result();
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"accesses\": " + std::to_string(result.accesses)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"page_faults\": " +
+                      std::to_string(result.counts.page_faults)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"page_factor\": 64"), std::string::npos);
+}
+
+TEST(ResultsIo, ArrayForm) {
+  const auto result = sample_result();
+  std::ostringstream os;
+  write_json(std::vector<RunResult>{result, result}, os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['), 1);
+  EXPECT_EQ(std::count(json.begin(), json.end(), ']'), 1);
+  // Two objects -> the workload key appears twice.
+  std::size_t first = json.find("\"workload\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(json.find("\"workload\"", first + 1), std::string::npos);
+}
+
+TEST(ResultsIo, EscapesSpecialCharacters) {
+  RunResult r = sample_result();
+  r.workload = "with \"quotes\" and\nnewline";
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("with \\\"quotes\\\" and\\nnewline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hymem::sim

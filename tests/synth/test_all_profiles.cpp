@@ -1,0 +1,88 @@
+// Parameterized sweep over ALL 12 PARSEC profiles: every profile must
+// generate a trace whose measured characterization matches its scaled
+// Table III targets exactly, and must run end-to-end under the proposed
+// scheme with conserved accounting.
+#include <gtest/gtest.h>
+
+#include "model/probabilities.hpp"
+#include "sim/experiment.hpp"
+#include "synth/generator.hpp"
+#include "synth/workload_profile.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace hymem {
+namespace {
+
+class AllProfiles : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr std::uint64_t kScale = 512;
+
+  synth::WorkloadProfile profile() const {
+    return synth::parsec_profile(GetParam()).scaled(kScale);
+  }
+};
+
+TEST_P(AllProfiles, TraceMatchesTableIIITargets) {
+  const auto p = profile();
+  synth::GeneratorOptions options;
+  options.seed = 11;
+  const auto trace = synth::generate(p, options);
+  const auto stats = trace::characterize(trace, options.page_size);
+  EXPECT_EQ(stats.reads, p.reads);
+  EXPECT_EQ(stats.writes, p.writes);
+  // Footprint coverage is only guaranteed when there are enough accesses.
+  if (p.total_accesses() >= p.footprint_pages(options.page_size)) {
+    EXPECT_EQ(stats.distinct_pages, p.footprint_pages(options.page_size));
+  }
+}
+
+TEST_P(AllProfiles, GenerationIsDeterministic) {
+  const auto p = profile();
+  synth::GeneratorOptions options;
+  options.seed = 12;
+  const auto a = synth::generate(p, options);
+  const auto b = synth::generate(p, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST_P(AllProfiles, RunsEndToEndWithConservedAccounting) {
+  sim::ExperimentConfig config;
+  config.policy = "two-lru";
+  const auto result = sim::run_workload(synth::parsec_profile(GetParam()),
+                                        kScale, config, /*seed=*/13);
+  EXPECT_EQ(result.counts.hits() + result.counts.page_faults, result.accesses);
+  EXPECT_TRUE(model::probabilities(result.counts).is_consistent());
+  EXPECT_GT(result.appr().total(), 0.0);
+  EXPECT_GT(result.amat().total(), 0.0);
+}
+
+TEST_P(AllProfiles, HybridSavesStaticPowerVsDramOnly) {
+  // The structural guarantee of the 90%-NVM hybrid: the static component
+  // must be far below DRAM-only's, for every workload (Table IV: 10x less
+  // static power per byte).
+  const auto p = profile();
+  if (p.footprint_pages(4096) < 30) {
+    GTEST_SKIP() << "memory too small for the 10% DRAM rule to bind "
+                    "(the >=1-DRAM-frame floor dominates at this scale)";
+  }
+  sim::ExperimentConfig ours;
+  ours.policy = "two-lru";
+  sim::ExperimentConfig dram;
+  dram.policy = "dram-only";
+  const auto a = sim::run_workload(synth::parsec_profile(GetParam()), kScale,
+                                   ours, 13);
+  const auto b = sim::run_workload(synth::parsec_profile(GetParam()), kScale,
+                                   dram, 13);
+  EXPECT_LT(a.appr().static_nj, 0.3 * b.appr().static_nj) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parsec, AllProfiles,
+    ::testing::Values("blackscholes", "bodytrack", "canneal", "dedup",
+                      "facesim", "ferret", "fluidanimate", "freqmine",
+                      "raytrace", "streamcluster", "vips", "x264"),
+    [](const auto& param_info) { return param_info.param; });
+
+}  // namespace
+}  // namespace hymem

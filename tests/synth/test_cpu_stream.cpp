@@ -1,0 +1,102 @@
+#include "synth/cpu_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hymem::synth {
+namespace {
+
+CpuStreamOptions small_stream() {
+  CpuStreamOptions o;
+  o.cores = 4;
+  o.accesses_per_core = 2000;
+  o.private_bytes = 1u << 20;
+  o.shared_bytes = 1u << 18;
+  o.seed = 5;
+  return o;
+}
+
+TEST(CpuStream, TotalCountAndPerCoreCounts) {
+  const auto o = small_stream();
+  const auto trace = generate_cpu_stream(o);
+  EXPECT_EQ(trace.size(), o.cores * o.accesses_per_core);
+  std::vector<std::uint64_t> per_core(o.cores, 0);
+  for (const auto& a : trace) {
+    ASSERT_LT(a.core, o.cores);
+    ++per_core[a.core];
+  }
+  for (auto c : per_core) EXPECT_EQ(c, o.accesses_per_core);
+}
+
+TEST(CpuStream, AddressesWithinLayout) {
+  const auto o = small_stream();
+  const auto trace = generate_cpu_stream(o);
+  const Addr limit = o.shared_bytes + o.cores * o.private_bytes;
+  for (const auto& a : trace) ASSERT_LT(a.addr, limit);
+}
+
+TEST(CpuStream, SharedFractionApproximatelyMet) {
+  auto o = small_stream();
+  o.shared_fraction = 0.25;
+  o.accesses_per_core = 10000;
+  const auto trace = generate_cpu_stream(o);
+  std::uint64_t shared = 0;
+  for (const auto& a : trace) shared += (a.addr < o.shared_bytes);
+  const double frac = static_cast<double>(shared) / static_cast<double>(trace.size());
+  EXPECT_NEAR(frac, 0.25, 0.03);
+}
+
+TEST(CpuStream, WriteFractionApproximatelyMet) {
+  auto o = small_stream();
+  o.write_fraction = 0.4;
+  o.accesses_per_core = 10000;
+  const auto trace = generate_cpu_stream(o);
+  const double frac = static_cast<double>(trace.write_count()) / static_cast<double>(trace.size());
+  EXPECT_NEAR(frac, 0.4, 0.03);
+}
+
+TEST(CpuStream, Deterministic) {
+  const auto a = generate_cpu_stream(small_stream());
+  const auto b = generate_cpu_stream(small_stream());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(CpuStream, InterleavesInBursts) {
+  auto o = small_stream();
+  o.interleave_burst = 4;
+  const auto trace = generate_cpu_stream(o);
+  // The first 4 accesses come from core 0, the next 4 from core 1, ...
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(trace[i].core, static_cast<std::uint8_t>((i / 4) % o.cores));
+  }
+}
+
+TEST(CpuStream, SequentialRunsPresent) {
+  auto o = small_stream();
+  o.run_continue = 0.95;
+  o.shared_fraction = 0.0;
+  o.interleave_burst = 8;
+  const auto trace = generate_cpu_stream(o);
+  // Within a burst from one core, high run_continue means mostly +stride.
+  std::uint64_t sequential = 0, pairs = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].core != trace[i - 1].core) continue;
+    ++pairs;
+    sequential += (trace[i].addr == trace[i - 1].addr + o.stride);
+  }
+  EXPECT_GT(static_cast<double>(sequential) / static_cast<double>(pairs), 0.7);
+}
+
+TEST(CpuStream, RejectsBadOptions) {
+  auto o = small_stream();
+  o.cores = 0;
+  EXPECT_THROW(generate_cpu_stream(o), std::logic_error);
+  o = small_stream();
+  o.stride = 0;
+  EXPECT_THROW(generate_cpu_stream(o), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::synth

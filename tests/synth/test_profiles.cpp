@@ -1,0 +1,97 @@
+#include "synth/workload_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hymem::synth {
+namespace {
+
+TEST(Profiles, TwelveWorkloadsAsInTableIII) {
+  EXPECT_EQ(parsec_profiles().size(), 12u);
+}
+
+TEST(Profiles, NamesAreUniqueAndSwaptionsExcluded) {
+  std::set<std::string> names;
+  for (const auto& p : parsec_profiles()) names.insert(p.name);
+  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.count("swaptions"), 0u);
+}
+
+TEST(Profiles, TableIIIValuesExact) {
+  const auto& canneal = parsec_profile("canneal");
+  EXPECT_EQ(canneal.working_set_kb, 164768u);
+  EXPECT_EQ(canneal.reads, 24432900u);
+  EXPECT_EQ(canneal.writes, 653623u);
+
+  const auto& sc = parsec_profile("streamcluster");
+  EXPECT_EQ(sc.working_set_kb, 15452u);
+  EXPECT_EQ(sc.reads, 168666464u);
+  EXPECT_EQ(sc.writes, 448612u);
+
+  const auto& bs = parsec_profile("blackscholes");
+  EXPECT_EQ(bs.writes, 0u) << "blackscholes is read-only";
+}
+
+TEST(Profiles, WriteFractionsMatchTableIII) {
+  // Table III percentages (rounded in the paper).
+  EXPECT_NEAR(parsec_profile("bodytrack").write_fraction(), 0.38, 0.01);
+  EXPECT_NEAR(parsec_profile("canneal").write_fraction(), 0.02, 0.01);
+  EXPECT_NEAR(parsec_profile("vips").write_fraction(), 0.41, 0.01);
+  EXPECT_NEAR(parsec_profile("streamcluster").write_fraction(), 0.002, 0.002);
+}
+
+TEST(Profiles, LookupUnknownThrows) {
+  EXPECT_THROW(parsec_profile("swaptions"), std::out_of_range);
+}
+
+TEST(Profiles, FootprintPages) {
+  const auto& bs = parsec_profile("blackscholes");
+  EXPECT_EQ(bs.footprint_pages(4096), 1297u);  // 5188 KB / 4 KB
+  EXPECT_EQ(bs.footprint_pages(8192), 649u);   // ceil(5188/8)
+}
+
+TEST(Profiles, ScaledPreservesMixAndDensity) {
+  const auto& base = parsec_profile("facesim");
+  const auto s = base.scaled(16);
+  EXPECT_NEAR(s.write_fraction(), base.write_fraction(), 0.001);
+  const double base_density = static_cast<double>(base.total_accesses()) /
+                              static_cast<double>(base.footprint_pages(4096));
+  const double s_density = static_cast<double>(s.total_accesses()) /
+                           static_cast<double>(s.footprint_pages(4096));
+  EXPECT_NEAR(s_density / base_density, 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(s.roi_seconds, base.roi_seconds);
+}
+
+TEST(Profiles, ScaledByOneIsIdentityOnCounts) {
+  const auto& base = parsec_profile("x264");
+  const auto s = base.scaled(1);
+  EXPECT_EQ(s.reads, base.reads);
+  EXPECT_EQ(s.writes, base.writes);
+  EXPECT_EQ(s.working_set_kb, base.working_set_kb);
+}
+
+TEST(Profiles, ScaledRejectsZero) {
+  EXPECT_THROW(parsec_profile("vips").scaled(0), std::logic_error);
+}
+
+TEST(Profiles, ChurnWorkloadsMarked) {
+  // The migration-hostile workloads of Sections III/V carry hot-set churn.
+  EXPECT_GT(parsec_profile("canneal").churn_period, 0u);
+  EXPECT_GT(parsec_profile("fluidanimate").churn_period, 0u);
+  EXPECT_EQ(parsec_profile("ferret").churn_period, 0u);
+}
+
+TEST(Profiles, WritePriorityKnobsConsistent) {
+  for (const auto& p : parsec_profiles()) {
+    EXPECT_GE(p.write_locality, 0.0) << p.name;
+    EXPECT_LE(p.write_locality, 1.0) << p.name;
+    EXPECT_GE(p.hot_locality, 0.0);
+    EXPECT_LE(p.hot_locality + p.scan_fraction + p.cold_fraction, 1.0)
+        << p.name;
+    EXPECT_LE(p.hot_fraction, p.resident_fraction) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace hymem::synth

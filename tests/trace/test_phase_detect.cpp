@@ -1,0 +1,121 @@
+#include "trace/phase_detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.hpp"
+#include "synth/workload_profile.hpp"
+
+#include "util/random.hpp"
+
+namespace hymem::trace {
+namespace {
+
+PhaseDetectorConfig small_config() {
+  PhaseDetectorConfig c;
+  c.window_accesses = 256;
+  c.signature_bits = 512;
+  c.similarity_threshold = 0.5;
+  return c;
+}
+
+TEST(PhaseDetect, JaccardBasics) {
+  const std::vector<std::uint64_t> zero{0, 0};
+  const std::vector<std::uint64_t> a{0b1010, 0};
+  const std::vector<std::uint64_t> b{0b0110, 0};
+  EXPECT_DOUBLE_EQ(PhaseDetector::jaccard(zero, zero), 1.0);
+  EXPECT_DOUBLE_EQ(PhaseDetector::jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(PhaseDetector::jaccard(a, zero), 0.0);
+  // a & b = 0b0010 (1 bit), a | b = 0b1110 (3 bits).
+  EXPECT_NEAR(PhaseDetector::jaccard(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PhaseDetect, StableStreamIsOnePhase) {
+  PhaseDetector d(4096, small_config());
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    d.observe(rng.next_below(32) * 4096);
+  }
+  EXPECT_EQ(d.phase_count(), 1u);
+  EXPECT_GT(d.last_similarity(), 0.9);
+}
+
+TEST(PhaseDetect, RegionSwitchesAreBoundaries) {
+  PhaseDetector d(4096, small_config());
+  Rng rng(6);
+  // Four phases over disjoint 32-page regions, 1024 accesses each.
+  for (int phase = 0; phase < 4; ++phase) {
+    const PageId base = static_cast<PageId>(phase) * 1000;
+    for (int i = 0; i < 1024; ++i) {
+      d.observe((base + rng.next_below(32)) * 4096);
+    }
+  }
+  EXPECT_EQ(d.phase_count(), 4u) << "one boundary per region switch";
+}
+
+TEST(PhaseDetect, BoundaryIndicesAligned) {
+  PhaseDetector d(4096, small_config());
+  Rng rng(7);
+  for (int i = 0; i < 512; ++i) d.observe(rng.next_below(16) * 4096);
+  for (int i = 0; i < 512; ++i) {
+    d.observe((5000 + rng.next_below(16)) * 4096);
+  }
+  ASSERT_EQ(d.boundaries().size(), 1u);
+  EXPECT_EQ(d.boundaries()[0] % small_config().window_accesses, 0u);
+}
+
+TEST(PhaseDetect, ThresholdZeroNeverSplits) {
+  PhaseDetectorConfig c = small_config();
+  c.similarity_threshold = 0.0;
+  PhaseDetector d(4096, c);
+  Rng rng(8);
+  for (int phase = 0; phase < 4; ++phase) {
+    for (int i = 0; i < 1024; ++i) {
+      d.observe((static_cast<PageId>(phase) * 1000 + rng.next_below(16)) *
+                4096);
+    }
+  }
+  EXPECT_EQ(d.phase_count(), 1u);
+}
+
+TEST(PhaseDetect, SubPageAddressesSharePage) {
+  PhaseDetector a(4096, small_config());
+  PhaseDetector b(4096, small_config());
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const PageId page = rng.next_below(20);
+    a.observe(page * 4096);
+    b.observe(page * 4096 + rng.next_below(4096));
+  }
+  EXPECT_EQ(a.phase_count(), b.phase_count());
+  EXPECT_DOUBLE_EQ(a.last_similarity(), b.last_similarity());
+}
+
+TEST(PhaseDetect, ChurnyProfileHasMorePhasesThanStable) {
+  // Tie the detector back to the synthetic workloads: canneal's hot-set
+  // churn must register as more phase boundaries than ferret's stability.
+  PhaseDetectorConfig c;
+  c.window_accesses = 8192;
+  c.similarity_threshold = 0.7;
+  auto phases_of = [&](const char* name) {
+    synth::GeneratorOptions options;
+    options.seed = 3;
+    const auto trace = synth::generate(synth::parsec_profile(name).scaled(64),
+                                       options);
+    PhaseDetector d(4096, c);
+    d.observe(trace);
+    return d.phase_count();
+  };
+  EXPECT_GE(phases_of("canneal"), phases_of("ferret"));
+}
+
+TEST(PhaseDetect, InvalidConfigRejected) {
+  PhaseDetectorConfig c = small_config();
+  c.window_accesses = 0;
+  EXPECT_THROW(PhaseDetector(4096, c), std::logic_error);
+  c = small_config();
+  c.signature_bits = 100;  // not a multiple of 64
+  EXPECT_THROW(PhaseDetector(4096, c), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::trace

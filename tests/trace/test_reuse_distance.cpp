@@ -1,0 +1,123 @@
+#include "trace/reuse_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <list>
+#include <unordered_set>
+
+#include "util/random.hpp"
+
+namespace hymem::trace {
+namespace {
+
+constexpr std::uint64_t kCold = std::numeric_limits<std::uint64_t>::max();
+
+TEST(ReuseDistance, HandComputedSequence) {
+  // Page stream: A B C A B B. Distances: cold cold cold 2 2 0.
+  ReuseDistanceAnalyzer rd(4096);
+  const Addr A = 0, B = 4096, C = 2 * 4096;
+  EXPECT_EQ(rd.observe(A), kCold);
+  EXPECT_EQ(rd.observe(B), kCold);
+  EXPECT_EQ(rd.observe(C), kCold);
+  EXPECT_EQ(rd.observe(A), 2u);
+  EXPECT_EQ(rd.observe(B), 2u);
+  EXPECT_EQ(rd.observe(B), 0u);
+  EXPECT_EQ(rd.cold_count(), 3u);
+  EXPECT_EQ(rd.access_count(), 6u);
+}
+
+TEST(ReuseDistance, RepeatedSamePageIsDistanceZero) {
+  ReuseDistanceAnalyzer rd(4096);
+  rd.observe(0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(rd.observe(100), 0u);
+}
+
+TEST(ReuseDistance, SubPageAddressesShareDistance) {
+  ReuseDistanceAnalyzer rd(4096);
+  rd.observe(0);
+  rd.observe(4096);
+  EXPECT_EQ(rd.observe(4095), 1u);  // same page as 0
+}
+
+TEST(ReuseDistance, HitRatioMatchesExplicitLruSimulation) {
+  // Cross-check the analyzer against a brute-force LRU simulation.
+  Rng rng(2024);
+  std::vector<PageId> stream;
+  for (int i = 0; i < 3000; ++i) stream.push_back(rng.next_below(64));
+
+  ReuseDistanceAnalyzer rd(1);
+  for (PageId p : stream) rd.observe(p);
+
+  for (std::uint64_t capacity : {1u, 4u, 16u, 48u, 64u}) {
+    std::list<PageId> lru;
+    std::uint64_t hits = 0;
+    for (PageId p : stream) {
+      auto it = std::find(lru.begin(), lru.end(), p);
+      if (it != lru.end()) {
+        ++hits;
+        lru.erase(it);
+      } else if (lru.size() >= capacity) {
+        lru.pop_back();
+      }
+      lru.push_front(p);
+    }
+    const double expected =
+        static_cast<double>(hits) / static_cast<double>(stream.size());
+    EXPECT_NEAR(rd.lru_hit_ratio(capacity), expected, 1e-12)
+        << "capacity " << capacity;
+  }
+}
+
+TEST(ReuseDistance, HitRatioMonotoneInCapacity) {
+  Rng rng(7);
+  ReuseDistanceAnalyzer rd(1);
+  for (int i = 0; i < 2000; ++i) rd.observe(rng.next_below(100));
+  double prev = 0.0;
+  for (std::uint64_t c = 1; c <= 100; c += 9) {
+    const double h = rd.lru_hit_ratio(c);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(ReuseDistance, FullCapacityHitsEverythingWarm) {
+  ReuseDistanceAnalyzer rd(1);
+  const std::vector<PageId> stream{0, 1, 2, 0, 1, 2, 0, 1, 2};
+  for (PageId p : stream) rd.observe(p);
+  // 3 cold misses out of 9 accesses; capacity >= 3 catches all reuses.
+  EXPECT_NEAR(rd.lru_hit_ratio(3), 6.0 / 9.0, 1e-12);
+  EXPECT_NEAR(rd.lru_hit_ratio(100), 6.0 / 9.0, 1e-12);
+}
+
+TEST(ReuseDistance, MissRatioCurve) {
+  ReuseDistanceAnalyzer rd(1);
+  for (PageId p : {0u, 1u, 0u, 1u}) rd.observe(p);
+  const auto curve = rd.miss_ratio_curve({1, 2});
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_NEAR(curve[0], 1.0, 1e-12);        // capacity 1: distance-1 reuses miss
+  EXPECT_NEAR(curve[1], 0.5, 1e-12);        // capacity 2: only cold misses
+}
+
+TEST(ReuseDistance, HistogramCollectsFiniteDistances) {
+  ReuseDistanceAnalyzer rd(1);
+  for (PageId p : {0u, 1u, 2u, 0u}) rd.observe(p);
+  EXPECT_EQ(rd.histogram().total(), 1u);  // only the distance-2 reuse
+}
+
+TEST(ReuseDistance, LoopPatternDistanceEqualsLoopSizeMinusOne) {
+  // Cyclic access over N pages has reuse distance N-1 for every reuse.
+  constexpr std::uint64_t kN = 10;
+  ReuseDistanceAnalyzer rd(1);
+  for (int lap = 0; lap < 3; ++lap) {
+    for (PageId p = 0; p < kN; ++p) {
+      const auto d = rd.observe(p);
+      if (lap > 0) {
+        EXPECT_EQ(d, kN - 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hymem::trace

@@ -1,0 +1,98 @@
+#include "trace/stream_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hymem::trace {
+namespace {
+
+TEST(StreamIo, RoundTripAcrossChunks) {
+  std::stringstream buf;
+  {
+    StreamTraceWriter writer(buf, "big", /*chunk_records=*/4);
+    for (Addr a = 0; a < 11; ++a) {
+      writer.append({a * 64, a % 3 == 0 ? AccessType::kWrite : AccessType::kRead,
+                     static_cast<std::uint8_t>(a % 2)});
+    }
+    writer.finish();
+    EXPECT_EQ(writer.written(), 11u);
+  }
+  StreamTraceReader reader(buf);
+  EXPECT_EQ(reader.name(), "big");
+  for (Addr a = 0; a < 11; ++a) {
+    const auto rec = reader.next();
+    ASSERT_TRUE(rec.has_value()) << a;
+    EXPECT_EQ(rec->addr, a * 64);
+    EXPECT_EQ(rec->type, a % 3 == 0 ? AccessType::kWrite : AccessType::kRead);
+    EXPECT_EQ(rec->core, a % 2);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value()) << "terminator is sticky";
+  EXPECT_EQ(reader.read_count(), 11u);
+}
+
+TEST(StreamIo, EmptyTrace) {
+  std::stringstream buf;
+  {
+    StreamTraceWriter writer(buf, "empty");
+    writer.finish();
+  }
+  StreamTraceReader reader(buf);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(StreamIo, DestructorFinishes) {
+  std::stringstream buf;
+  { StreamTraceWriter writer(buf, "x"); writer.append({1, AccessType::kRead, 0}); }
+  StreamTraceReader reader(buf);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(StreamIo, AppendAfterFinishRejected) {
+  std::stringstream buf;
+  StreamTraceWriter writer(buf, "x");
+  writer.finish();
+  EXPECT_THROW(writer.append({1, AccessType::kRead, 0}), std::logic_error);
+}
+
+TEST(StreamIo, BadMagicRejected) {
+  std::stringstream buf("XXXX....");
+  EXPECT_THROW(StreamTraceReader{buf}, std::runtime_error);
+}
+
+TEST(StreamIo, TruncatedChunkRejected) {
+  std::stringstream buf;
+  {
+    StreamTraceWriter writer(buf, "t", 8);
+    for (Addr a = 0; a < 5; ++a) writer.append({a, AccessType::kRead, 0});
+    writer.finish();
+  }
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 7);
+  std::stringstream cut(bytes);
+  StreamTraceReader reader(cut);
+  EXPECT_THROW(
+      {
+        while (reader.next().has_value()) {
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(StreamIo, ExactChunkBoundary) {
+  std::stringstream buf;
+  {
+    StreamTraceWriter writer(buf, "b", 4);
+    for (Addr a = 0; a < 8; ++a) writer.append({a, AccessType::kRead, 0});
+    writer.finish();
+  }
+  StreamTraceReader reader(buf);
+  std::size_t n = 0;
+  while (reader.next().has_value()) ++n;
+  EXPECT_EQ(n, 8u);
+}
+
+}  // namespace
+}  // namespace hymem::trace

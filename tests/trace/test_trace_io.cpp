@@ -1,0 +1,92 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace hymem::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t("sample");
+  t.append(0x1000, AccessType::kRead, 0);
+  t.append(0xdeadbeef, AccessType::kWrite, 3);
+  t.append(0, AccessType::kRead, 1);
+  return t;
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_binary(original, buf);
+  const Trace loaded = read_binary(buf);
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST(TraceIo, TextRoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_text(original, buf);
+  const Trace loaded = read_text(buf, "sample");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST(TraceIo, TextSkipsCommentsAndBlanks) {
+  std::stringstream buf("# comment\n\nR 0x40 0\nW 0x80 1\n");
+  const Trace loaded = read_text(buf);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].addr, 0x40u);
+  EXPECT_EQ(loaded[1].type, AccessType::kWrite);
+  EXPECT_EQ(loaded[1].core, 1);
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  std::stringstream buf("NOPE....");
+  EXPECT_THROW(read_binary(buf), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedBinaryThrows) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_binary(original, buf);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 5);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(read_binary(cut), std::runtime_error);
+}
+
+TEST(TraceIo, BadAccessKindThrows) {
+  std::stringstream buf("X 0x40 0\n");
+  EXPECT_THROW(read_text(buf), std::runtime_error);
+}
+
+TEST(TraceIo, SaveLoadBinaryFile) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/hymem_io_test.trc";
+  save(original, path);
+  const Trace loaded = load(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded[1], original[1]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SaveLoadTextFile) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/hymem_io_test.txt";
+  save(original, path);
+  const Trace loaded = load(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded[0], original[0]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load("/nonexistent/path/file.trc"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hymem::trace

@@ -1,0 +1,80 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem::trace {
+namespace {
+
+TEST(TraceStats, CountsReadsWritesAndFootprint) {
+  Trace t;
+  t.append(0, AccessType::kRead);
+  t.append(100, AccessType::kWrite);       // same page as 0
+  t.append(4096, AccessType::kRead);       // page 1
+  t.append(3 * 4096, AccessType::kWrite);  // page 3
+  const TraceStats s = characterize(t, 4096);
+  EXPECT_EQ(s.accesses, 4u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.writes, 2u);
+  EXPECT_EQ(s.distinct_pages, 3u);
+  EXPECT_EQ(s.working_set_kb(), 12u);
+  EXPECT_DOUBLE_EQ(s.read_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(s.write_fraction(), 0.5);
+}
+
+TEST(TraceStats, WriteDominantPages) {
+  Trace t;
+  t.append(0, AccessType::kWrite);
+  t.append(0, AccessType::kWrite);
+  t.append(0, AccessType::kRead);  // page 0: 2/3 writes -> write-dominant
+  t.append(4096, AccessType::kRead);
+  t.append(4096, AccessType::kRead);  // page 1: read-only
+  const TraceStats s = characterize(t, 4096);
+  EXPECT_EQ(s.write_dominant_pages, 1u);
+}
+
+TEST(TraceStats, PageProfileWriteRatio) {
+  PageProfile p;
+  EXPECT_DOUBLE_EQ(p.write_ratio(), 0.0);
+  p.reads = 3;
+  p.writes = 1;
+  EXPECT_DOUBLE_EQ(p.write_ratio(), 0.25);
+  EXPECT_EQ(p.total(), 4u);
+}
+
+TEST(TraceStats, RankedPagesSortedByPopularity) {
+  TraceCharacterizer c(4096);
+  for (int i = 0; i < 5; ++i) c.observe({0, AccessType::kRead, 0});
+  for (int i = 0; i < 9; ++i) c.observe({4096, AccessType::kRead, 0});
+  c.observe({8192, AccessType::kWrite, 0});
+  const auto ranked = c.ranked_pages();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, 1u);
+  EXPECT_EQ(ranked[0].second.total(), 9u);
+  EXPECT_EQ(ranked[1].first, 0u);
+  EXPECT_EQ(ranked[2].first, 2u);
+}
+
+TEST(TraceStats, AccessesPerPageHistogram) {
+  TraceCharacterizer c(4096);
+  for (int i = 0; i < 4; ++i) c.observe({0, AccessType::kRead, 0});
+  c.observe({4096, AccessType::kRead, 0});
+  const TraceStats s = c.stats();
+  EXPECT_EQ(s.accesses_per_page.total(), 2u);  // two pages
+  EXPECT_EQ(s.accesses_per_page.bucket(Log2Histogram::bucket_index(4)), 1u);
+  EXPECT_EQ(s.accesses_per_page.bucket(Log2Histogram::bucket_index(1)), 1u);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  Trace t;
+  const TraceStats s = characterize(t, 4096);
+  EXPECT_EQ(s.accesses, 0u);
+  EXPECT_EQ(s.distinct_pages, 0u);
+  EXPECT_DOUBLE_EQ(s.read_fraction(), 0.0);
+}
+
+TEST(TraceStats, PageSizeZeroRejected) {
+  EXPECT_THROW(TraceCharacterizer(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::trace

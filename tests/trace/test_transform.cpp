@@ -1,0 +1,100 @@
+#include "trace/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hpp"
+
+namespace hymem::trace {
+namespace {
+
+TEST(Transform, ToPageTraceAlignsAddresses) {
+  Trace t;
+  t.append(4097, AccessType::kRead);
+  t.append(8191, AccessType::kWrite, 2);
+  const Trace out = to_page_trace(t, 4096);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].addr, 4096u);
+  EXPECT_EQ(out[1].addr, 4096u);
+  EXPECT_EQ(out[1].type, AccessType::kWrite);
+  EXPECT_EQ(out[1].core, 2);
+}
+
+TEST(Transform, InterleaveRoundRobin) {
+  Trace a("a"), b("b");
+  for (Addr i = 0; i < 4; ++i) a.append(i, AccessType::kRead);
+  for (Addr i = 100; i < 104; ++i) b.append(i, AccessType::kWrite);
+  const Trace* sources[] = {&a, &b};
+  const Trace out = interleave(sources, 2, "mix");
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[0].addr, 0u);
+  EXPECT_EQ(out[1].addr, 1u);
+  EXPECT_EQ(out[2].addr, 100u);
+  EXPECT_EQ(out[3].addr, 101u);
+  EXPECT_EQ(out[4].addr, 2u);
+  EXPECT_EQ(out.name(), "mix");
+}
+
+TEST(Transform, InterleaveDrainsUnevenSources) {
+  Trace a("a"), b("b");
+  a.append(0, AccessType::kRead);
+  for (Addr i = 0; i < 5; ++i) b.append(100 + i, AccessType::kRead);
+  const Trace* sources[] = {&a, &b};
+  const Trace out = interleave(sources, 1, "mix");
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(Transform, DownsampleKeepsEveryNth) {
+  Trace t;
+  for (Addr i = 0; i < 10; ++i) t.append(i, AccessType::kRead);
+  const Trace out = downsample(t, 3);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].addr, 0u);
+  EXPECT_EQ(out[1].addr, 3u);
+  EXPECT_EQ(out[3].addr, 9u);
+}
+
+TEST(Transform, DownsampleWithOffset) {
+  Trace t;
+  for (Addr i = 0; i < 10; ++i) t.append(i, AccessType::kRead);
+  const Trace out = downsample(t, 4, 1);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].addr, 1u);
+  EXPECT_EQ(out[2].addr, 9u);
+}
+
+TEST(Transform, DensifyRemapsFirstTouchOrder) {
+  Trace t;
+  t.append(7 * 4096 + 5, AccessType::kRead);
+  t.append(3 * 4096, AccessType::kWrite);
+  t.append(7 * 4096 + 9, AccessType::kRead);
+  const Trace out = densify_pages(t, 4096);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].addr, 5u);           // page 7 -> dense page 0
+  EXPECT_EQ(out[1].addr, 4096u);        // page 3 -> dense page 1
+  EXPECT_EQ(out[2].addr, 9u);           // page 7 again -> dense page 0
+}
+
+TEST(Transform, DensifyPreservesFootprintAndMix) {
+  Trace t;
+  t.append(0x123456000, AccessType::kRead);
+  t.append(0x999999000, AccessType::kWrite);
+  t.append(0x123456000, AccessType::kWrite);
+  const Trace out = densify_pages(t, 4096);
+  const auto before = characterize(t, 4096);
+  const auto after = characterize(out, 4096);
+  EXPECT_EQ(before.distinct_pages, after.distinct_pages);
+  EXPECT_EQ(before.reads, after.reads);
+  EXPECT_EQ(before.writes, after.writes);
+}
+
+TEST(Transform, InvalidArgumentsThrow) {
+  Trace t;
+  t.append(0, AccessType::kRead);
+  EXPECT_THROW(to_page_trace(t, 0), std::logic_error);
+  EXPECT_THROW(downsample(t, 0), std::logic_error);
+  const Trace* sources[] = {&t};
+  EXPECT_THROW(interleave(sources, 0, "x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::trace

@@ -1,0 +1,63 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const auto args = parse({"prog", "--scale=16", "--policy=two-lru"});
+  EXPECT_EQ(args.get_uint("scale", 1), 16u);
+  EXPECT_EQ(args.get("policy"), "two-lru");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const auto args = parse({"prog", "--scale", "8"});
+  EXPECT_EQ(args.get_uint("scale", 1), 8u);
+}
+
+TEST(Cli, BooleanFlags) {
+  const auto args = parse({"prog", "--csv", "--verbose=false"});
+  EXPECT_TRUE(args.get_bool("csv"));
+  EXPECT_FALSE(args.get_bool("verbose", true));
+  EXPECT_FALSE(args.get_bool("absent", false));
+  EXPECT_TRUE(args.get_bool("absent", true));
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const auto args = parse({"prog", "--flag=maybe"});
+  EXPECT_THROW(args.get_bool("flag"), std::invalid_argument);
+}
+
+TEST(Cli, Positionals) {
+  const auto args = parse({"prog", "input.trc", "--x=1", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.trc");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get("missing", "def"), "def");
+  EXPECT_EQ(args.get_int("missing", -3), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, DoubleValues) {
+  const auto args = parse({"prog", "--frac=0.75"});
+  EXPECT_DOUBLE_EQ(args.get_double("frac", 0.0), 0.75);
+}
+
+TEST(Cli, ProgramName) {
+  const auto args = parse({"myprog"});
+  EXPECT_EQ(args.program(), "myprog");
+}
+
+}  // namespace
+}  // namespace hymem

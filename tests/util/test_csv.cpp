@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hymem {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapesQuotes) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Csv, LeavesPlainFieldsAlone) {
+  EXPECT_EQ(CsvWriter::escape("plain_field-1.0"), "plain_field-1.0");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"h1", "h2"});
+  csv.write_row({"1,5", "2"});
+  EXPECT_EQ(os.str(), "h1,h2\n\"1,5\",2\n");
+}
+
+}  // namespace
+}  // namespace hymem

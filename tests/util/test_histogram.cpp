@@ -1,0 +1,69 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem {
+namespace {
+
+TEST(Log2Histogram, BucketIndexBoundaries) {
+  EXPECT_EQ(Log2Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_index(8), 4u);
+}
+
+TEST(Log2Histogram, BucketBoundsRoundTrip) {
+  for (std::size_t idx = 0; idx < 20; ++idx) {
+    EXPECT_EQ(Log2Histogram::bucket_index(Log2Histogram::bucket_lo(idx)), idx);
+    EXPECT_EQ(Log2Histogram::bucket_index(Log2Histogram::bucket_hi(idx)), idx);
+  }
+}
+
+TEST(Log2Histogram, CountsAndTotal) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(100, 5);
+  EXPECT_EQ(h.total(), 9u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(Log2Histogram::bucket_index(100)), 5u);
+}
+
+TEST(Log2Histogram, OutOfRangeBucketIsZero) {
+  Log2Histogram h;
+  h.add(1);
+  EXPECT_EQ(h.bucket(50), 0u);
+}
+
+TEST(Log2Histogram, QuantileUpperBound) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(1);   // bucket [1,1]
+  for (int i = 0; i < 10; ++i) h.add(64);  // bucket [64,127]
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 1u);
+  EXPECT_EQ(h.quantile_upper_bound(0.95), 127u);
+}
+
+TEST(Log2Histogram, QuantileOfEmptyIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.quantile_upper_bound(0.9), 0u);
+}
+
+TEST(Log2Histogram, ToStringSkipsEmptyBuckets) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("0..0 : 1"), std::string::npos);
+  EXPECT_NE(s.find("4..7 : 1"), std::string::npos);
+  EXPECT_EQ(s.find("1..1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hymem

@@ -1,0 +1,131 @@
+#include "util/intrusive_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hymem {
+namespace {
+
+struct Node {
+  int value = 0;
+  ListHook hook;
+};
+
+using List = IntrusiveList<Node, &Node::hook>;
+
+std::vector<int> to_vector(const List& list) {
+  std::vector<int> out;
+  list.for_each([&out](const Node& n) { out.push_back(n.value); });
+  return out;
+}
+
+TEST(IntrusiveList, StartsEmpty) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.pop_back(), nullptr);
+}
+
+TEST(IntrusiveList, PushFrontOrders) {
+  List list;
+  Node a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_front(a);
+  list.push_front(b);
+  list.push_front(c);
+  EXPECT_EQ(to_vector(list), (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(list.front()->value, 3);
+  EXPECT_EQ(list.back()->value, 1);
+}
+
+TEST(IntrusiveList, PushBackOrders) {
+  List list;
+  Node a{1, {}}, b{2, {}};
+  list.push_back(a);
+  list.push_back(b);
+  EXPECT_EQ(to_vector(list), (std::vector<int>{1, 2}));
+}
+
+TEST(IntrusiveList, MoveToFront) {
+  List list;
+  Node a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.move_to_front(c);
+  EXPECT_EQ(to_vector(list), (std::vector<int>{3, 1, 2}));
+  list.move_to_front(c);  // already at front: no-op ordering
+  EXPECT_EQ(to_vector(list), (std::vector<int>{3, 1, 2}));
+}
+
+TEST(IntrusiveList, EraseMiddle) {
+  List list;
+  Node a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(b);
+  EXPECT_EQ(to_vector(list), (std::vector<int>{1, 3}));
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(b.hook.is_linked());
+}
+
+TEST(IntrusiveList, PopBackReturnsLru) {
+  List list;
+  Node a{1, {}}, b{2, {}};
+  list.push_front(a);
+  list.push_front(b);
+  Node* victim = list.pop_back();
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->value, 1);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(IntrusiveList, NextPrevNavigation) {
+  List list;
+  Node a{1, {}}, b{2, {}}, c{3, {}};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(list.next(a)->value, 2);
+  EXPECT_EQ(list.prev(c)->value, 2);
+  EXPECT_EQ(list.next(c), nullptr);
+  EXPECT_EQ(list.prev(a), nullptr);
+}
+
+TEST(IntrusiveList, InsertBefore) {
+  List list;
+  Node a{1, {}}, c{3, {}}, b{2, {}};
+  list.push_back(a);
+  list.push_back(c);
+  list.insert_before(c, b);
+  EXPECT_EQ(to_vector(list), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveList, ReinsertAfterErase) {
+  List list;
+  Node a{1, {}};
+  list.push_front(a);
+  list.erase(a);
+  list.push_back(a);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.front(), &a);
+}
+
+TEST(IntrusiveList, DoubleLinkDetected) {
+  List list;
+  Node a{1, {}};
+  list.push_front(a);
+  EXPECT_THROW(list.push_front(a), std::logic_error);
+}
+
+TEST(IntrusiveList, EraseUnlinkedDetected) {
+  List list;
+  Node a{1, {}};
+  EXPECT_THROW(list.erase(a), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem

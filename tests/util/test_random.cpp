@@ -1,0 +1,121 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hymem {
+namespace {
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DiffersForDifferentSeeds) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(1), 0u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 40000; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(hits / 40000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(3, 5);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GeometricMeanMatchesContinuationProbability) {
+  Rng rng(13);
+  // E[k] = p / (1 - p) for P(k) = (1-p) p^k.
+  const double p = 0.75;
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.next_geometric(p));
+  }
+  EXPECT_NEAR(sum / kDraws, p / (1 - p), 0.1);
+}
+
+TEST(Rng, GeometricZeroProbabilityIsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.next_geometric(0.0), 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Splitmix64, IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  const std::uint64_t first = splitmix64(s1);
+  const std::uint64_t second = splitmix64(s1);
+  EXPECT_NE(first, second);  // the state advances
+}
+
+}  // namespace
+}  // namespace hymem

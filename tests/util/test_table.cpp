@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hymem {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Every line is at least as wide as the widest cell arrangement.
+  const auto first_newline = s.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  EXPECT_GE(first_newline, std::string("alpha  value").size() - 1);
+}
+
+TEST(TextTable, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::logic_error);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::fmt(0.5), "0.500");
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, HeaderUnderlinePresent) {
+  TextTable t({"col"});
+  t.add_row({"v"});
+  EXPECT_NE(t.to_string().find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hymem

@@ -1,0 +1,73 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hymem {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  for (double alpha : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfSampler z(50, alpha);
+    double sum = 0;
+    for (std::uint64_t r = 0; r < 50; ++r) sum += z.pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "alpha=" << alpha;
+  }
+}
+
+TEST(Zipf, PmfIsMonotoneDecreasing) {
+  ZipfSampler z(100, 0.8);
+  for (std::uint64_t r = 1; r < 100; ++r) {
+    EXPECT_GT(z.pmf(r - 1), z.pmf(r));
+  }
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (std::uint64_t r = 0; r < 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-12);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfSampler z(17, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) ASSERT_LT(z.sample(rng), 17u);
+}
+
+TEST(Zipf, SampleFrequenciesMatchPmf) {
+  constexpr std::uint64_t kN = 20;
+  constexpr int kDraws = 200000;
+  ZipfSampler z(kN, 1.0);
+  Rng rng(77);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng)];
+  for (std::uint64_t r = 0; r < kN; ++r) {
+    const double expected = z.pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, expected * 0.1 + 30) << "rank " << r;
+  }
+}
+
+TEST(Zipf, HigherAlphaConcentratesMass) {
+  ZipfSampler mild(100, 0.5);
+  ZipfSampler steep(100, 1.5);
+  EXPECT_GT(steep.pmf(0), mild.pmf(0));
+  EXPECT_LT(steep.pmf(99), mild.pmf(99));
+}
+
+TEST(Zipf, SingleElementAlwaysSamplesZero) {
+  ZipfSampler z(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::logic_error);
+  EXPECT_THROW(ZipfSampler(5, -0.1), std::logic_error);
+  ZipfSampler z(5, 1.0);
+  EXPECT_THROW(z.pmf(5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem
