@@ -5,13 +5,19 @@
 //               set, keeping all ratios) by N. Default 64: the full suite
 //               runs in seconds with the same shapes as scale 1.
 //   --seed S    generator seed (default 42).
+//   --jobs N    worker threads for grid-shaped harnesses (default: the
+//               hardware concurrency). 1 = serial reference path. Results
+//               are byte-identical for every N.
 //   --csv       additionally dump the table as CSV to stdout.
 #pragma once
 
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "runner/sweep.hpp"
+#include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
 #include "sim/reporter.hpp"
 #include "synth/workload_profile.hpp"
@@ -23,6 +29,7 @@ struct BenchContext {
   std::uint64_t scale = 64;
   std::uint64_t seed = 42;
   bool csv = false;
+  unsigned jobs = 1;  ///< Sweep worker threads.
 };
 
 inline BenchContext parse_args(int argc, char** argv,
@@ -32,6 +39,8 @@ inline BenchContext parse_args(int argc, char** argv,
   ctx.scale = args.get_uint("scale", default_scale);
   ctx.seed = args.get_uint("seed", 42);
   ctx.csv = args.get_bool("csv", false);
+  ctx.jobs = static_cast<unsigned>(
+      args.get_uint("jobs", runner::ThreadPool::default_threads()));
   return ctx;
 }
 
@@ -50,6 +59,30 @@ inline sim::RunResult run(const synth::WorkloadProfile& profile,
                           sim::ExperimentConfig config = {}) {
   config.policy = policy;
   return sim::run_workload(profile, ctx.scale, config, ctx.seed);
+}
+
+/// Runs a (workload × policy × variant) grid through the sweep runner on
+/// `ctx.jobs` workers, with progress on stderr. SeedMode::kShared replays
+/// the same per-workload trace under every policy/variant — identical
+/// numbers to the historical serial loops, just fanned out.
+inline runner::SweepResults run_grid(
+    std::vector<synth::WorkloadProfile> workloads,
+    std::vector<std::string> policies, const BenchContext& ctx,
+    std::vector<runner::ConfigVariant> variants = {},
+    runner::SeedMode seed_mode = runner::SeedMode::kShared) {
+  runner::SweepSpec spec;
+  spec.workloads = std::move(workloads);
+  spec.policies = std::move(policies);
+  spec.variants = std::move(variants);
+  spec.scale = ctx.scale;
+  spec.base_seed = ctx.seed;
+  spec.seed_mode = seed_mode;
+  runner::SweepOptions options;
+  options.jobs = ctx.jobs;
+  options.progress = runner::stderr_progress();
+  auto sweep = runner::run_sweep(spec, options);
+  sweep.write_failures(std::cerr);
+  return sweep;
 }
 
 }  // namespace hymem::bench

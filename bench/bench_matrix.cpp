@@ -1,7 +1,10 @@
 // The grand matrix: every hybrid policy on every PARSEC workload, one row
 // per (workload, policy), with the three paper metrics side by side.
+// Runs as a parallel sweep (`--jobs N`, default hardware concurrency);
+// row order and values are identical for any job count.
 // `--json` dumps the full result set for external tooling.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "sim/results_io.hpp"
@@ -19,31 +22,31 @@ int main(int argc, char** argv) {
   const std::vector<std::string> policies = {
       "dram-only", "nvm-only", "static-partition", "dram-cache",
       "rank-mq",   "clock-dwf", "two-lru",          "two-lru-adaptive"};
+  const auto profiles = synth::parsec_profiles();
+  const auto sweep = bench::run_grid(
+      {profiles.begin(), profiles.end()}, policies, ctx);
 
-  std::vector<sim::RunResult> results;
   TextTable table({"workload", "policy", "APPR (nJ)", "AMAT (ns)",
                    "mig/kacc", "NVM writes/kacc"});
-  for (const auto& profile : synth::parsec_profiles()) {
-    for (const auto& policy : policies) {
-      const auto r = bench::run(profile, policy, ctx);
-      const auto accesses = static_cast<double>(r.accesses);
-      table.add_row(
-          {profile.name, policy, TextTable::fmt(r.appr().total(), 2),
-           TextTable::fmt(r.amat().total(), 1),
-           TextTable::fmt(1000.0 * static_cast<double>(r.counts.migrations()) /
-                              accesses,
-                          2),
-           TextTable::fmt(1000.0 *
-                              static_cast<double>(r.nvm_writes().total()) /
-                              accesses,
-                          1)});
-      results.push_back(r);
-    }
+  for (const auto& job : sweep.jobs) {
+    if (!job.ok) continue;
+    const auto& r = job.result;
+    const auto accesses = static_cast<double>(r.accesses);
+    table.add_row(
+        {r.workload, job.job.policy, TextTable::fmt(r.appr().total(), 2),
+         TextTable::fmt(r.amat().total(), 1),
+         TextTable::fmt(1000.0 * static_cast<double>(r.counts.migrations()) /
+                            accesses,
+                        2),
+         TextTable::fmt(1000.0 *
+                            static_cast<double>(r.nvm_writes().total()) /
+                            accesses,
+                        1)});
   }
   if (json) {
-    sim::write_json(results, std::cout);
+    sim::write_json(sweep.results(), std::cout);
   } else {
     std::cout << table.to_string();
   }
-  return 0;
+  return sweep.failures() == 0 ? 0 : 1;
 }

@@ -1,0 +1,75 @@
+#include "runner/progress.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace hymem::runner {
+
+ProgressTracker::ProgressTracker(std::uint64_t total, Callback on_update)
+    : start_(std::chrono::steady_clock::now()),
+      on_update_(std::move(on_update)),
+      total_(total) {}
+
+void ProgressTracker::job_done(bool ok) {
+  ProgressSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    if (!ok) ++failed_;
+    snap.completed = completed_;
+    snap.failed = failed_;
+    snap.total = total_;
+  }
+  snap.elapsed_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  if (snap.completed > 0 && snap.completed < snap.total) {
+    snap.eta_s = snap.elapsed_s / static_cast<double>(snap.completed) *
+                 static_cast<double>(snap.total - snap.completed);
+  }
+  if (on_update_) on_update_(snap);
+}
+
+ProgressSnapshot ProgressTracker::snapshot() const {
+  ProgressSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.completed = completed_;
+    snap.failed = failed_;
+    snap.total = total_;
+  }
+  snap.elapsed_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  if (snap.completed > 0 && snap.completed < snap.total) {
+    snap.eta_s = snap.elapsed_s / static_cast<double>(snap.completed) *
+                 static_cast<double>(snap.total - snap.completed);
+  }
+  return snap;
+}
+
+std::string format_progress(const ProgressSnapshot& snapshot) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "%llu/%llu (%.1f%%) elapsed %.1fs eta %.1fs, %llu failed",
+                static_cast<unsigned long long>(snapshot.completed),
+                static_cast<unsigned long long>(snapshot.total),
+                100.0 * snapshot.fraction(), snapshot.elapsed_s,
+                snapshot.eta_s,
+                static_cast<unsigned long long>(snapshot.failed));
+  return buf;
+}
+
+ProgressTracker::Callback stderr_progress() {
+  return [](const ProgressSnapshot& snapshot) {
+    // \r keeps one in-place status line on a TTY; a log file just records
+    // the last state per line-buffer flush. The final completion adds the
+    // newline so later stderr output starts clean.
+    std::fprintf(stderr, "\r%s%s", format_progress(snapshot).c_str(),
+                 snapshot.completed == snapshot.total ? "\n" : "");
+    std::fflush(stderr);
+  };
+}
+
+}  // namespace hymem::runner

@@ -1,0 +1,58 @@
+// Thread-safe sweep progress: completed/failed counters plus an ETA derived
+// from the observed per-job rate. Reporting goes through a user callback so
+// harnesses can route it to stderr (keeping stdout byte-deterministic for
+// CSV/JSON capture) or swallow it in tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace hymem::runner {
+
+/// One consistent view of a sweep in flight.
+struct ProgressSnapshot {
+  std::uint64_t completed = 0;  ///< Jobs finished (ok + failed).
+  std::uint64_t failed = 0;     ///< Jobs whose exception was captured.
+  std::uint64_t total = 0;
+  double elapsed_s = 0.0;
+  /// Linear-rate remaining-time estimate; 0 until the first completion.
+  double eta_s = 0.0;
+  double fraction() const {
+    return total ? static_cast<double>(completed) / static_cast<double>(total)
+                 : 1.0;
+  }
+};
+
+/// Counts completions across worker threads and invokes an optional callback
+/// (under no lock) after each one.
+class ProgressTracker {
+ public:
+  using Callback = std::function<void(const ProgressSnapshot&)>;
+
+  explicit ProgressTracker(std::uint64_t total, Callback on_update = {});
+
+  /// Records one finished job; `ok=false` also bumps the failure count.
+  void job_done(bool ok);
+
+  ProgressSnapshot snapshot() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  Callback on_update_;
+  mutable std::mutex mutex_;
+  std::uint64_t total_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+/// "  12/96 (12.5%) elapsed 3.1s eta 21.7s, 0 failed" — one line, no \n.
+std::string format_progress(const ProgressSnapshot& snapshot);
+
+/// Callback that rewrites one stderr status line per completion (\r-style)
+/// and emits the terminating newline when the sweep finishes.
+ProgressTracker::Callback stderr_progress();
+
+}  // namespace hymem::runner

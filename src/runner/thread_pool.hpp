@@ -1,0 +1,63 @@
+// Fixed-size worker pool with a FIFO work queue and clean shutdown.
+//
+// The sweep runner fans (policy × workload × config) jobs out across cores;
+// this pool is the minimal executor that makes that safe: tasks are plain
+// std::function<void()> (the sweep layer owns fault capture), shutdown drains
+// the queue before joining, and wait_idle() gives callers a barrier without
+// destroying the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hymem::runner {
+
+/// Fixed pool of worker threads consuming a shared FIFO queue.
+///
+/// Semantics:
+///   * submit() after shutdown began throws std::runtime_error.
+///   * Tasks must not throw — an escaping exception would terminate the
+///     worker (std::terminate). The sweep layer wraps every job in a
+///     try/catch and records the failure instead.
+///   * The destructor completes all queued tasks, then joins all workers
+///     (clean shutdown: nothing submitted is ever silently dropped).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Wakes one worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty AND no worker is mid-task.
+  void wait_idle();
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Default worker count: the hardware concurrency, with a floor of 1
+  /// (hardware_concurrency() may legally return 0).
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< Signals workers: work or stop.
+  std::condition_variable idle_cv_;  ///< Signals waiters: maybe idle now.
+  std::size_t active_ = 0;           ///< Workers currently running a task.
+  bool stop_ = false;
+};
+
+}  // namespace hymem::runner

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/csv.hpp"
+
 namespace hymem::sim {
 
 namespace {
@@ -143,6 +145,90 @@ std::string to_json(const RunResult& result) {
   std::ostringstream os;
   write_json(result, os);
   return os.str();
+}
+
+namespace {
+
+std::string fmt_double(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
+}
+
+}  // namespace
+
+const std::vector<std::string>& csv_header() {
+  static const std::vector<std::string> header = {
+      "workload",
+      "policy",
+      "accesses",
+      "duration_s",
+      "dram_read_hits",
+      "dram_write_hits",
+      "nvm_read_hits",
+      "nvm_write_hits",
+      "page_faults",
+      "fills_to_dram",
+      "fills_to_nvm",
+      "migrations_to_dram",
+      "migrations_to_nvm",
+      "dirty_evictions",
+      "page_factor",
+      "amat_hit_ns",
+      "amat_fault_ns",
+      "amat_migration_ns",
+      "amat_total_ns",
+      "appr_static_nj",
+      "appr_hit_nj",
+      "appr_fault_fill_nj",
+      "appr_migration_nj",
+      "appr_total_nj",
+      "nvm_writes_demand",
+      "nvm_writes_fault_fill",
+      "nvm_writes_migration",
+      "nvm_writes_total"};
+  return header;
+}
+
+std::vector<std::string> csv_fields(const RunResult& result) {
+  const auto amat = result.amat();
+  const auto power = result.appr();
+  const auto writes = result.nvm_writes();
+  const auto& c = result.counts;
+  return {result.workload,
+          result.policy,
+          std::to_string(result.accesses),
+          fmt_double(result.duration_s),
+          std::to_string(c.dram_read_hits),
+          std::to_string(c.dram_write_hits),
+          std::to_string(c.nvm_read_hits),
+          std::to_string(c.nvm_write_hits),
+          std::to_string(c.page_faults),
+          std::to_string(c.fills_to_dram),
+          std::to_string(c.fills_to_nvm),
+          std::to_string(c.migrations_to_dram),
+          std::to_string(c.migrations_to_nvm),
+          std::to_string(c.dirty_evictions),
+          std::to_string(c.page_factor),
+          fmt_double(amat.hit_ns),
+          fmt_double(amat.fault_ns),
+          fmt_double(amat.migration_ns),
+          fmt_double(amat.total()),
+          fmt_double(power.static_nj),
+          fmt_double(power.hit_nj),
+          fmt_double(power.fault_fill_nj),
+          fmt_double(power.migration_nj),
+          fmt_double(power.total()),
+          std::to_string(writes.demand_writes),
+          std::to_string(writes.fault_fill_writes),
+          std::to_string(writes.migration_writes),
+          std::to_string(writes.total())};
+}
+
+void write_csv(const std::vector<RunResult>& results, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.write_row(csv_header());
+  for (const auto& result : results) writer.write_row(csv_fields(result));
 }
 
 }  // namespace hymem::sim

@@ -1,6 +1,6 @@
-// Result serialization: RunResult -> JSON, so external tooling (plotting,
-// regression tracking, notebooks) can consume simulation output without
-// scraping the text tables.
+// Result serialization: RunResult -> JSON/CSV, so external tooling
+// (plotting, regression tracking, notebooks) can consume simulation output
+// without scraping the text tables.
 #pragma once
 
 #include <ostream>
@@ -20,5 +20,18 @@ void write_json(const std::vector<RunResult>& results, std::ostream& out);
 
 /// Convenience: the JSON text of one result.
 std::string to_json(const RunResult& result);
+
+/// Column names of the flat CSV projection of a RunResult: identification,
+/// raw event counts, then the derived Eq. 1/2/3 metrics. Stable order; the
+/// sweep runner splices these columns into its own export.
+const std::vector<std::string>& csv_header();
+
+/// Formatted values for one result, same order as csv_header(). Doubles use
+/// the same 12-significant-digit format as the JSON emitter, so serial and
+/// parallel sweeps over identical jobs serialize byte-identically.
+std::vector<std::string> csv_fields(const RunResult& result);
+
+/// Header + one row per result (RFC-4180 quoting via util/csv).
+void write_csv(const std::vector<RunResult>& results, std::ostream& out);
 
 }  // namespace hymem::sim

@@ -1,0 +1,86 @@
+#include "runner/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hymem::runner {
+namespace {
+
+TEST(Progress, CountsCompletionsAndFailures) {
+  ProgressTracker tracker(4);
+  tracker.job_done(true);
+  tracker.job_done(false);
+  tracker.job_done(true);
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.completed, 3u);
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_EQ(snap.total, 4u);
+  EXPECT_GE(snap.elapsed_s, 0.0);
+  EXPECT_GE(snap.eta_s, 0.0);
+  EXPECT_DOUBLE_EQ(snap.fraction(), 0.75);
+}
+
+TEST(Progress, EtaZeroBeforeFirstAndAfterLastCompletion) {
+  ProgressTracker tracker(2);
+  EXPECT_EQ(tracker.snapshot().eta_s, 0.0);
+  tracker.job_done(true);
+  tracker.job_done(true);
+  EXPECT_EQ(tracker.snapshot().eta_s, 0.0);
+}
+
+TEST(Progress, CallbackFiresOncePerCompletionWithConsistentSnapshots) {
+  std::vector<ProgressSnapshot> seen;
+  ProgressTracker tracker(3, [&seen](const ProgressSnapshot& snap) {
+    seen.push_back(snap);
+  });
+  tracker.job_done(true);
+  tracker.job_done(false);
+  tracker.job_done(true);
+  ASSERT_EQ(seen.size(), 3u);
+  // Callbacks may interleave under threads, but here they are sequential:
+  // completed must be 1, 2, 3 and failed monotone.
+  EXPECT_EQ(seen[0].completed, 1u);
+  EXPECT_EQ(seen[2].completed, 3u);
+  EXPECT_EQ(seen[2].failed, 1u);
+}
+
+TEST(Progress, ThreadSafeUnderConcurrentCompletions) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::atomic<int> callbacks{0};
+  ProgressTracker tracker(kThreads * kPerThread,
+                          [&callbacks](const ProgressSnapshot&) {
+                            ++callbacks;
+                          });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < kPerThread; ++i) tracker.job_done(i % 10 != 0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.failed, static_cast<std::uint64_t>(kThreads * kPerThread / 10));
+  EXPECT_EQ(callbacks.load(), kThreads * kPerThread);
+}
+
+TEST(Progress, FormatIsHumanReadable) {
+  ProgressSnapshot snap;
+  snap.completed = 12;
+  snap.total = 96;
+  snap.failed = 1;
+  snap.elapsed_s = 3.14;
+  snap.eta_s = 21.9;
+  const std::string line = format_progress(snap);
+  EXPECT_NE(line.find("12/96"), std::string::npos);
+  EXPECT_NE(line.find("12.5%"), std::string::npos);
+  EXPECT_NE(line.find("1 failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hymem::runner

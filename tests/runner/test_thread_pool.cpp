@@ -1,0 +1,107 @@
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hymem::runner {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueueCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        ++counter;
+      });
+    }
+    // No wait_idle: the destructor must finish everything queued.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleIsReusableBetweenBatches) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (batch + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, StressManyTinyTasks) {
+  std::atomic<std::uint64_t> sum{0};
+  ThreadPool pool(8);
+  constexpr int kTasks = 20000;
+  for (int i = 1; i <= kTasks; ++i) {
+    pool.submit([&sum, i] { sum += static_cast<std::uint64_t>(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kTasks) * (kTasks + 1) / 2);
+}
+
+TEST(ThreadPool, ConcurrentSubmitters) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 500; ++i) {
+        pool.submit([&counter] { ++counter; });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2000);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreadsWhenPoolIsWide) {
+  // With more workers than long-running tasks, tasks overlap: total wall
+  // time for 4 × 50ms sleeps on 4 workers stays well under the 200ms
+  // serial time. Generous bound to stay robust on loaded 1-core CI.
+  ThreadPool pool(4);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+  }
+  pool.wait_idle();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 190.0) << "sleeps should overlap across workers";
+}
+
+}  // namespace
+}  // namespace hymem::runner

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
 #include "sim/experiment.hpp"
 #include "synth/workload_profile.hpp"
 
@@ -61,6 +64,34 @@ TEST(ResultsIo, EscapesSpecialCharacters) {
   r.workload = "with \"quotes\" and\nnewline";
   const std::string json = to_json(r);
   EXPECT_NE(json.find("with \\\"quotes\\\" and\\nnewline"), std::string::npos);
+}
+
+TEST(ResultsIo, CsvFieldsMatchHeaderWidthAndIdentification) {
+  const auto result = sample_result();
+  const auto fields = csv_fields(result);
+  ASSERT_EQ(fields.size(), csv_header().size());
+  EXPECT_EQ(csv_header()[0], "workload");
+  EXPECT_EQ(csv_header()[1], "policy");
+  EXPECT_EQ(fields[0], result.workload);
+  EXPECT_EQ(fields[1], result.policy);
+}
+
+TEST(ResultsIo, CsvRoundTripHasHeaderPlusOneRowPerResult) {
+  const std::vector<RunResult> results = {sample_result(), sample_result()};
+  std::ostringstream os;
+  write_csv(results, os);
+  const std::string text = os.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_EQ(text.rfind("workload,policy,accesses", 0), 0u);
+  EXPECT_NE(text.find("bodytrack,two-lru,"), std::string::npos);
+}
+
+TEST(ResultsIo, CsvIsDeterministicAcrossCalls) {
+  const std::vector<RunResult> results = {sample_result()};
+  std::ostringstream a, b;
+  write_csv(results, a);
+  write_csv(results, b);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 }  // namespace

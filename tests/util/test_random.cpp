@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 namespace hymem {
@@ -115,6 +116,30 @@ TEST(Splitmix64, IsDeterministic) {
   const std::uint64_t first = splitmix64(s1);
   const std::uint64_t second = splitmix64(s1);
   EXPECT_NE(first, second);  // the state advances
+}
+
+// Thread-safety audit (sweep runner): Rng has no global or shared state —
+// generators with the same seed advanced concurrently on many threads must
+// emit exactly the sequence a lone generator emits.
+TEST(Rng, ConcurrentGeneratorsWithSameSeedAreBitIdentical) {
+  constexpr int kThreads = 8;
+  constexpr int kDraws = 10000;
+  std::vector<std::uint64_t> expected(kDraws);
+  Rng reference(1234);
+  for (auto& v : expected) v = reference.next();
+
+  std::vector<std::vector<std::uint64_t>> seen(
+      kThreads, std::vector<std::uint64_t>(kDraws));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, t] {
+      Rng rng(1234);  // each thread owns its generator
+      for (int i = 0; i < kDraws; ++i) seen[static_cast<std::size_t>(t)]
+          [static_cast<std::size_t>(i)] = rng.next();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& sequence : seen) EXPECT_EQ(sequence, expected);
 }
 
 }  // namespace
