@@ -5,11 +5,13 @@
 
 #include "cachesim/hierarchy.hpp"
 #include "core/nvm_queue.hpp"
+#include "os/vmm.hpp"
 #include "policy/factory.hpp"
 #include "sim/experiment.hpp"
 #include "sim/policy_factory.hpp"
 #include "synth/cpu_stream.hpp"
 #include "synth/generator.hpp"
+#include "trace/trace_stats.hpp"
 #include "util/random.hpp"
 #include "util/zipf.hpp"
 
@@ -17,38 +19,57 @@ namespace {
 
 using namespace hymem;
 
+// Zipf page streams are pre-sampled outside the timing loops below so the
+// measured work is the policy/queue operation itself, not the sampler.
+std::vector<PageId> sampled_pages(std::size_t count, std::uint64_t universe,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(universe, 0.8);
+  std::vector<PageId> pages(count);
+  for (PageId& page : pages) page = zipf.sample(rng);
+  return pages;
+}
+
 void BM_ReplacementPolicyChurn(benchmark::State& state,
                                const std::string& name) {
   const std::size_t capacity = 4096;
   const auto policy = policy::make_replacement(name, capacity);
-  Rng rng(7);
-  ZipfSampler zipf(capacity * 4, 0.8);
+  const std::vector<PageId> pages = sampled_pages(1 << 16, capacity * 4, 7);
+  // One benchmark iteration replays the whole pre-sampled stream, so the
+  // per-access cost is the policy operation alone, not harness bookkeeping.
   for (auto _ : state) {
-    const PageId page = zipf.sample(rng);
-    if (policy->contains(page)) {
-      policy->on_hit(page, AccessType::kRead);
-    } else {
-      if (policy->full()) {
-        policy->erase(*policy->select_victim());
+    for (const PageId page : pages) {
+      if (policy->contains(page)) {
+        policy->on_hit(page, AccessType::kRead);
+      } else {
+        if (policy->full()) {
+          policy->erase(*policy->select_victim());
+        }
+        policy->insert(page, AccessType::kRead);
       }
-      policy->insert(page, AccessType::kRead);
     }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pages.size()));
 }
 
 void BM_CountedLruQueue(benchmark::State& state) {
   const std::size_t capacity = 4096;
   core::CountedLruQueue queue(capacity, 0.1, 0.3);
   Rng rng(5);
-  ZipfSampler zipf(capacity, 0.8);
+  const std::vector<PageId> pages = sampled_pages(1 << 16, capacity, 5);
+  std::vector<AccessType> types(pages.size());
+  for (AccessType& type : types) {
+    type = rng.next_bool(0.3) ? AccessType::kWrite : AccessType::kRead;
+  }
   for (PageId p = 0; p < capacity; ++p) queue.insert_front(p);
   for (auto _ : state) {
-    const PageId page = zipf.sample(rng);
-    benchmark::DoNotOptimize(queue.record_hit(
-        page, rng.next_bool(0.3) ? AccessType::kWrite : AccessType::kRead));
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      benchmark::DoNotOptimize(queue.record_hit(pages[i], types[i]));
+    }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pages.size()));
 }
 
 void BM_CacheHierarchy(benchmark::State& state) {
@@ -90,6 +111,45 @@ void BM_EndToEndSimulation(benchmark::State& state,
   state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
 }
 
+// Replay throughput of the simulation core proper: the trace is generated
+// and characterized once outside the timing loop, so items/second is
+// on_access ops/sec of sim::run_trace (one warmup pass + the measured pass),
+// the number every figure and sweep cell is built from. The dedup/4 profile
+// gives a ~32k-page footprint, so the page table and policy indexes see
+// realistic cache pressure instead of fitting in L1.
+void BM_RunTrace(benchmark::State& state, const std::string& policy) {
+  const auto profile = synth::parsec_profile("dedup").scaled(4);
+  synth::GeneratorOptions options;
+  options.seed = 42;
+  const trace::Trace trace = synth::generate(profile, options);
+  sim::ExperimentConfig config;
+  config.policy = policy;
+  trace::TraceCharacterizer characterizer(config.page_size);
+  characterizer.observe(trace);
+  const sim::MemorySizing sizing =
+      sim::size_memory(characterizer.stats().distinct_pages, config);
+  os::VmmConfig vmm_config;
+  vmm_config.dram_frames = sizing.dram_frames;
+  vmm_config.nvm_frames = sizing.nvm_frames;
+  vmm_config.page_size = config.page_size;
+  vmm_config.access_granularity = config.access_granularity;
+  vmm_config.dram = config.dram;
+  vmm_config.nvm = config.nvm;
+  vmm_config.disk = config.disk;
+  vmm_config.transfer_mode = config.transfer_mode;
+  vmm_config.wear_leveling = config.wear_leveling;
+  std::uint64_t replayed = 0;
+  for (auto _ : state) {
+    os::Vmm vmm(vmm_config);
+    const auto impl = sim::make_policy(policy, vmm, config.migration);
+    const auto result =
+        sim::run_trace(*impl, trace, profile.roi_seconds, /*warmup_passes=*/1);
+    benchmark::DoNotOptimize(result.accesses);
+    replayed += 2 * trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(replayed));
+}
+
 BENCHMARK_CAPTURE(BM_ReplacementPolicyChurn, lru, "lru");
 BENCHMARK_CAPTURE(BM_ReplacementPolicyChurn, clock, "clock");
 BENCHMARK_CAPTURE(BM_ReplacementPolicyChurn, clock_pro, "clock-pro");
@@ -99,6 +159,10 @@ BENCHMARK(BM_CacheHierarchy);
 BENCHMARK(BM_TraceGenerator);
 BENCHMARK_CAPTURE(BM_EndToEndSimulation, two_lru, "two-lru");
 BENCHMARK_CAPTURE(BM_EndToEndSimulation, clock_dwf, "clock-dwf");
+BENCHMARK_CAPTURE(BM_RunTrace, two_lru, "two-lru");
+BENCHMARK_CAPTURE(BM_RunTrace, two_lru_adaptive, "two-lru-adaptive");
+BENCHMARK_CAPTURE(BM_RunTrace, clock_dwf, "clock-dwf");
+BENCHMARK_CAPTURE(BM_RunTrace, dram_only, "dram-only");
 
 }  // namespace
 

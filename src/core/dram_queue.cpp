@@ -1,0 +1,56 @@
+#include "core/dram_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::core {
+
+DramLruQueue::DramLruQueue(std::size_t capacity)
+    : capacity_(capacity), pool_(capacity) {
+  HYMEM_CHECK_MSG(capacity > 0, "DRAM queue capacity must be positive");
+  index_.reserve(capacity);
+}
+
+void DramLruQueue::on_hit(PageId page) {
+  Node* const* found = index_.find(page);
+  HYMEM_CHECK_MSG(found != nullptr, "hit on untracked page");
+  Node* node = *found;
+  list_.move_to_front(*node);
+  if (node->promoted) ++node->hits;
+}
+
+void DramLruQueue::insert(PageId page, bool promoted) {
+  HYMEM_CHECK_MSG(size() < capacity_, "insert into full DRAM queue");
+  const auto [slot, inserted] = index_.try_emplace(page);
+  HYMEM_CHECK_MSG(inserted, "insert of tracked page");
+  Node* node = pool_.allocate();
+  node->page = page;
+  node->hits = 0;
+  node->promoted = promoted;
+  *slot = node;
+  list_.push_front(*node);
+}
+
+std::optional<PageId> DramLruQueue::lru_victim() const {
+  const Node* victim = list_.back();
+  if (victim == nullptr) return std::nullopt;
+  return victim->page;
+}
+
+std::optional<std::uint64_t> DramLruQueue::erase(PageId page) {
+  const std::optional<Node*> found = index_.take(page);
+  HYMEM_CHECK_MSG(found.has_value(), "erase of untracked page");
+  Node* node = *found;
+  const std::optional<std::uint64_t> score =
+      node->promoted ? std::optional<std::uint64_t>(node->hits) : std::nullopt;
+  list_.erase(*node);
+  pool_.release(node);
+  return score;
+}
+
+std::optional<std::uint64_t> DramLruQueue::promotion_hits(PageId page) const {
+  Node* const* found = index_.find(page);
+  if (found == nullptr || !(*found)->promoted) return std::nullopt;
+  return (*found)->hits;
+}
+
+}  // namespace hymem::core

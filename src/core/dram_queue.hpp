@@ -1,0 +1,69 @@
+// DRAM-side queue of the migration scheme: a plain LRU (Algorithm 1 keeps
+// both queues unmodified LRU) that additionally carries the open-promotion
+// hit counter inside the queue node. The scheme needs that counter on every
+// DRAM demand hit to score promotions; storing it next to the recency hook
+// means the per-access DRAM-hit path pays exactly one index probe — the
+// node found for the LRU splice is the node holding the counter (a separate
+// page -> counter map costs a second hash probe per hit).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "util/flat_page_map.hpp"
+#include "util/intrusive_list.hpp"
+#include "util/slab_pool.hpp"
+#include "util/types.hpp"
+
+namespace hymem::core {
+
+/// LRU queue over DRAM-resident pages with per-node promotion scoring.
+/// Nodes live in slab storage; the index is a flat map pre-sized to
+/// `capacity` — no per-operation allocation, no rehashing.
+class DramLruQueue {
+ public:
+  explicit DramLruQueue(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+  bool full() const { return size() >= capacity_; }
+  bool contains(PageId page) const { return index_.contains(page); }
+
+  /// Warms the index cache line for an upcoming access to `page`.
+  void prefetch(PageId page) const { index_.prefetch(page); }
+
+  /// Records a demand hit: moves the page to MRU and, if it is an open
+  /// promotion, counts the hit towards its score.
+  void on_hit(PageId page);
+
+  /// Starts tracking `page` at the MRU position (must be absent, queue not
+  /// full). `promoted` opens a promotion with a zeroed hit score.
+  void insert(PageId page, bool promoted);
+
+  /// The page next in line for demotion (LRU tail); nullopt iff empty.
+  std::optional<PageId> lru_victim() const;
+
+  /// Stops tracking `page` (demotion or eviction). Returns its hit score if
+  /// it was an open promotion, nullopt otherwise.
+  std::optional<std::uint64_t> erase(PageId page);
+
+  /// Open-promotion hit score of `page` (for tests); nullopt when the page
+  /// is not an open promotion.
+  std::optional<std::uint64_t> promotion_hits(PageId page) const;
+
+ private:
+  struct Node {
+    PageId page = kInvalidPage;
+    std::uint64_t hits = 0;
+    bool promoted = false;
+    ListHook hook;
+  };
+
+  std::size_t capacity_;
+  IntrusiveList<Node, &Node::hook> list_;  // front = MRU
+  util::SlabPool<Node> pool_;
+  util::FlatPageMap<Node*> index_;
+};
+
+}  // namespace hymem::core

@@ -32,15 +32,15 @@ std::uint64_t TwoLruMigrationPolicy::write_threshold() const {
   return controller_ ? controller_->write_threshold() : config_.write_threshold;
 }
 
-void TwoLruMigrationPolicy::close_promotion(PageId page) {
-  const auto it = promoted_hits_.find(page);
-  if (it == promoted_hits_.end()) return;
-  if (controller_) controller_->observe_promotion_outcome(it->second);
-  promoted_hits_.erase(it);
+void TwoLruMigrationPolicy::evict_from_dram(PageId page) {
+  const std::optional<std::uint64_t> score = dram_.erase(page);
+  if (score.has_value() && controller_) {
+    controller_->observe_promotion_outcome(*score);
+  }
 }
 
 Nanoseconds TwoLruMigrationPolicy::demote_dram_victim() {
-  const auto victim = dram_.select_victim();
+  const auto victim = dram_.lru_victim();
   HYMEM_CHECK_MSG(victim.has_value(), "DRAM LRU empty while full");
   if (!vmm_.has_free_frame(Tier::kNvm)) {
     const auto nvm_victim = nvm_.lru_victim();
@@ -48,8 +48,7 @@ Nanoseconds TwoLruMigrationPolicy::demote_dram_victim() {
     nvm_.erase(*nvm_victim);
     vmm_.evict(*nvm_victim);
   }
-  close_promotion(*victim);
-  dram_.erase(*victim);
+  evict_from_dram(*victim);
   const Nanoseconds latency = vmm_.migrate(*victim, Tier::kNvm);
   nvm_.insert_front(*victim);
   ++demotions_;
@@ -62,17 +61,15 @@ Nanoseconds TwoLruMigrationPolicy::promote(PageId page) {
     nvm_.erase(page);
     latency += vmm_.migrate(page, Tier::kDram);
   } else {
-    const auto victim = dram_.select_victim();
+    const auto victim = dram_.lru_victim();
     HYMEM_CHECK_MSG(victim.has_value(), "DRAM LRU empty while full");
-    close_promotion(*victim);
-    dram_.erase(*victim);
+    evict_from_dram(*victim);
     nvm_.erase(page);
     latency += vmm_.swap(page, *victim);
     nvm_.insert_front(*victim);
     ++demotions_;
   }
-  dram_.insert(page, AccessType::kRead);
-  promoted_hits_.emplace(page, 0);
+  dram_.insert(page, /*promoted=*/true);
   ++promotions_;
   return latency;
 }
@@ -95,32 +92,32 @@ Nanoseconds TwoLruMigrationPolicy::on_access(PageId page, AccessType type) {
         static_cast<double>(config_.max_promotions_per_kacc),
         tokens_ + static_cast<double>(config_.max_promotions_per_kacc) / 1000.0);
   }
-  const auto tier = vmm_.tier_of(page);
-  if (tier == Tier::kDram) {
-    // Algorithm 1 lines 2-3: plain LRU housekeeping.
-    dram_.on_hit(page, type);
-    const auto it = promoted_hits_.find(page);
-    if (it != promoted_hits_.end()) ++it->second;
-    return vmm_.access(page, type);
+  // One page-table probe classifies the access AND serves resident hits
+  // (the historical tier_of + access pair probed twice).
+  const auto hit = vmm_.access_if_resident(page, type);
+  if (hit.has_value() && hit->tier == Tier::kDram) {
+    // Algorithm 1 lines 2-3: plain LRU housekeeping. The queue node carries
+    // the open-promotion score, so this is a single index probe.
+    dram_.on_hit(page);
+    return hit->latency;
   }
-  if (tier == Tier::kNvm) {
-    // Lines 5-25: serve from NVM, update the windowed counter, and promote
+  if (hit.has_value()) {
+    // Lines 5-25: served from NVM; update the windowed counter and promote
     // only past the threshold.
-    const Nanoseconds serve = vmm_.access(page, type);
     const std::uint64_t counter = nvm_.record_hit(page, type);
     const std::uint64_t threshold =
         type == AccessType::kRead ? read_threshold() : write_threshold();
     if (counter > threshold && admit_promotion()) {
-      return serve + promote(page);
+      return hit->latency + promote(page);
     }
-    return serve;
+    return hit->latency;
   }
   // Lines 27-28: all page faults fill DRAM; demote the DRAM LRU victim when
   // needed.
   Nanoseconds latency = 0;
   if (!vmm_.has_free_frame(Tier::kDram)) latency += demote_dram_victim();
   latency += vmm_.fault_in(page, Tier::kDram);
-  dram_.insert(page, type);
+  dram_.insert(page, /*promoted=*/false);
   if (type == AccessType::kWrite) vmm_.touch_dirty(page);
   return latency;
 }

@@ -16,13 +16,12 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "core/adaptive_threshold.hpp"
+#include "core/dram_queue.hpp"
 #include "core/migration_config.hpp"
 #include "core/nvm_queue.hpp"
 #include "policy/hybrid_policy.hpp"
-#include "policy/lru.hpp"
 
 namespace hymem::core {
 
@@ -35,10 +34,15 @@ class TwoLruMigrationPolicy final : public policy::HybridPolicy {
     return config_.adaptive ? "two-lru-adaptive" : "two-lru";
   }
   Nanoseconds on_access(PageId page, AccessType type) override;
+  void prefetch(PageId page) const override {
+    vmm_.prefetch_translation(page);
+    dram_.prefetch(page);
+    nvm_.prefetch(page);
+  }
 
   const MigrationConfig& config() const { return config_; }
   const CountedLruQueue& nvm_queue() const { return nvm_; }
-  const policy::LruPolicy& dram_queue() const { return dram_; }
+  const DramLruQueue& dram_queue() const { return dram_; }
 
   /// Effective thresholds (tracks the controller when adaptive).
   std::uint64_t read_threshold() const;
@@ -63,17 +67,16 @@ class TwoLruMigrationPolicy final : public policy::HybridPolicy {
   /// Frees a DRAM frame by demoting the DRAM LRU victim into the NVM queue
   /// head (evicting the NVM LRU victim to disk when NVM is full too).
   Nanoseconds demote_dram_victim();
-  /// Tells the controller a promoted page just left DRAM.
-  void close_promotion(PageId page);
+  /// Removes `page` from the DRAM queue, reporting its promotion score (if
+  /// it arrived via promotion) to the adaptive controller.
+  void evict_from_dram(PageId page);
   /// Token-bucket admission for one promotion (true = allowed).
   bool admit_promotion();
 
   MigrationConfig config_;
-  policy::LruPolicy dram_;
+  DramLruQueue dram_;
   CountedLruQueue nvm_;
   std::unique_ptr<AdaptiveThresholdController> controller_;
-  /// DRAM demand hits of pages that arrived via promotion (for scoring).
-  std::unordered_map<PageId, std::uint64_t> promoted_hits_;
   std::uint64_t promotions_ = 0;
   std::uint64_t demotions_ = 0;
   std::uint64_t throttled_ = 0;

@@ -20,8 +20,9 @@ std::size_t window_target(double perc, std::size_t capacity) {
 
 CountedLruQueue::CountedLruQueue(std::size_t capacity, double read_perc,
                                  double write_perc)
-    : capacity_(capacity) {
+    : capacity_(capacity), pool_(capacity) {
   HYMEM_CHECK_MSG(capacity > 0, "queue capacity must be positive");
+  index_.reserve(capacity);
   read_win_ = Window{window_target(read_perc, capacity), 0, nullptr,
                      &Node::in_read, &Node::read_ctr};
   write_win_ = Window{window_target(write_perc, capacity), 0, nullptr,
@@ -29,8 +30,8 @@ CountedLruQueue::CountedLruQueue(std::size_t capacity, double read_perc,
 }
 
 CountedLruQueue::Node* CountedLruQueue::find(PageId page) const {
-  const auto it = nodes_.find(page);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  Node* const* found = index_.find(page);
+  return found == nullptr ? nullptr : *found;
 }
 
 void CountedLruQueue::enter_front(Window& w, Node& node) {
@@ -97,25 +98,25 @@ std::uint64_t CountedLruQueue::record_hit(PageId page, AccessType type) {
 }
 
 void CountedLruQueue::insert_front(PageId page) {
-  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
   HYMEM_CHECK_MSG(size() < capacity_, "insert into full queue");
-  auto owned = std::make_unique<Node>();
-  Node* node = owned.get();
+  const auto [slot, inserted] = index_.try_emplace(page);
+  HYMEM_CHECK_MSG(inserted, "insert of tracked page");
+  Node* node = pool_.allocate();
   node->page = page;
+  *slot = node;
   enter_front(read_win_, *node);
   enter_front(write_win_, *node);
   list_.push_front(*node);
-  nodes_.emplace(page, std::move(owned));
 }
 
 void CountedLruQueue::erase(PageId page) {
-  const auto it = nodes_.find(page);
-  HYMEM_CHECK_MSG(it != nodes_.end(), "erase of untracked page");
-  Node* node = it->second.get();
+  const std::optional<Node*> found = index_.take(page);
+  HYMEM_CHECK_MSG(found.has_value(), "erase of untracked page");
+  Node* node = *found;
   leave(read_win_, *node);
   leave(write_win_, *node);
   list_.erase(*node);
-  nodes_.erase(it);
+  pool_.release(node);
   refill(read_win_);
   refill(write_win_);
 }

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "util/flat_page_map.hpp"
 #include "util/intrusive_list.hpp"
+#include "util/slab_pool.hpp"
 #include "util/types.hpp"
 
 namespace hymem::core {
@@ -31,12 +31,15 @@ class CountedLruQueue {
   CountedLruQueue(std::size_t capacity, double read_perc, double write_perc);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return nodes_.size(); }
-  bool contains(PageId page) const { return nodes_.count(page) > 0; }
+  std::size_t size() const { return index_.size(); }
+  bool contains(PageId page) const { return index_.contains(page); }
   bool full() const { return size() >= capacity_; }
 
   std::size_t read_window_target() const { return read_win_.target; }
   std::size_t write_window_target() const { return write_win_.target; }
+
+  /// Warms the membership-index cache line for an upcoming record_hit.
+  void prefetch(PageId page) const { index_.prefetch(page); }
 
   /// Records a hit per Algorithm 1: promotes the page to MRU, maintains both
   /// windows (resetting counters that fall off), and updates the counter for
@@ -96,7 +99,8 @@ class CountedLruQueue {
 
   std::size_t capacity_;
   IntrusiveList<Node, &Node::hook> list_;  // front = MRU
-  std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+  util::SlabPool<Node> pool_;
+  util::FlatPageMap<Node*> index_;
   Window read_win_;
   Window write_win_;
 };

@@ -4,43 +4,43 @@
 
 namespace hymem::os {
 
-std::optional<PageTableEntry> PageTable::lookup(PageId page) const {
-  const auto it = entries_.find(page);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+void PageTable::reserve(std::uint64_t frames) {
+  entries_.reserve(static_cast<std::size_t>(frames));
 }
 
-PageTableEntry* PageTable::find(PageId page) {
-  const auto it = entries_.find(page);
-  return it == entries_.end() ? nullptr : &it->second;
+std::optional<PageTableEntry> PageTable::lookup(PageId page) const {
+  const PageTableEntry* entry = entries_.find(page);
+  if (entry == nullptr) return std::nullopt;
+  return *entry;
 }
+
+PageTableEntry* PageTable::find(PageId page) { return entries_.find(page); }
 
 const PageTableEntry* PageTable::find(PageId page) const {
-  return const_cast<PageTable*>(this)->find(page);
+  return entries_.find(page);
 }
 
 void PageTable::map(PageId page, Tier tier, FrameId frame, bool dirty) {
-  const auto [it, inserted] =
-      entries_.try_emplace(page, PageTableEntry{tier, frame, dirty});
+  const auto [entry, inserted] = entries_.try_emplace(page);
   HYMEM_CHECK_MSG(inserted, "page already resident");
+  *entry = PageTableEntry{tier, frame, dirty};
   (tier == Tier::kDram ? dram_count_ : nvm_count_) += 1;
 }
 
 PageTableEntry PageTable::unmap(PageId page) {
-  const auto it = entries_.find(page);
-  HYMEM_CHECK_MSG(it != entries_.end(), "unmap of non-resident page");
-  const PageTableEntry entry = it->second;
-  entries_.erase(it);
-  (entry.tier == Tier::kDram ? dram_count_ : nvm_count_) -= 1;
+  PageTableEntry* found = entries_.find(page);
+  HYMEM_CHECK_MSG(found != nullptr, "unmap of non-resident page");
+  const PageTableEntry entry = *found;
+  entries_.erase(page);
+  (entry.tier() == Tier::kDram ? dram_count_ : nvm_count_) -= 1;
   return entry;
 }
 
 void PageTable::remap(PageId page, Tier tier, FrameId frame) {
-  const auto it = entries_.find(page);
-  HYMEM_CHECK_MSG(it != entries_.end(), "remap of non-resident page");
-  (it->second.tier == Tier::kDram ? dram_count_ : nvm_count_) -= 1;
-  it->second.tier = tier;
-  it->second.frame = frame;
+  PageTableEntry* entry = entries_.find(page);
+  HYMEM_CHECK_MSG(entry != nullptr, "remap of non-resident page");
+  (entry->tier() == Tier::kDram ? dram_count_ : nvm_count_) -= 1;
+  entry->retarget(tier, frame);
   (tier == Tier::kDram ? dram_count_ : nvm_count_) += 1;
 }
 

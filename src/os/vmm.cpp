@@ -17,6 +17,7 @@ Vmm::Vmm(const VmmConfig& config)
                      : 1,
                  config.nvm.endurance_cycles) {
   HYMEM_CHECK_MSG(config.total_frames() > 0, "memory must have capacity");
+  table_.reserve(config.total_frames());
   if (config.wear_leveling && config.nvm_frames > 0) {
     remapper_ = std::make_unique<mem::StartGapRemapper>(
         config.nvm_frames, config.wear_gap_interval);
@@ -26,7 +27,7 @@ Vmm::Vmm(const VmmConfig& config)
 std::optional<Tier> Vmm::tier_of(PageId page) const {
   const auto entry = table_.lookup(page);
   if (!entry) return std::nullopt;
-  return entry->tier;
+  return entry->tier();
 }
 
 bool Vmm::has_free_frame(Tier tier) const {
@@ -64,12 +65,25 @@ Nanoseconds Vmm::access(PageId page, AccessType type) {
   PageTableEntry* entry = table_.find(page);
   HYMEM_CHECK_MSG(entry != nullptr, "demand access to non-resident page");
   if (type == AccessType::kWrite) {
-    entry->dirty = true;
-    if (entry->tier == Tier::kNvm) {
-      record_nvm_page_write(entry->frame, mem::NvmWriteSource::kDemandWrite);
+    entry->mark_dirty();
+    if (entry->tier() == Tier::kNvm) {
+      record_nvm_page_write(entry->frame(), mem::NvmWriteSource::kDemandWrite);
     }
   }
-  return device_mut(entry->tier).record_demand(type);
+  return device_mut(entry->tier()).record_demand(type);
+}
+
+std::optional<Vmm::ResidentAccess> Vmm::access_if_resident(PageId page,
+                                                           AccessType type) {
+  PageTableEntry* entry = table_.find(page);
+  if (entry == nullptr) return std::nullopt;
+  if (type == AccessType::kWrite) {
+    entry->mark_dirty();
+    if (entry->tier() == Tier::kNvm) {
+      record_nvm_page_write(entry->frame(), mem::NvmWriteSource::kDemandWrite);
+    }
+  }
+  return ResidentAccess{entry->tier(), device_mut(entry->tier()).record_demand(type)};
 }
 
 Nanoseconds Vmm::fault_in(PageId page, Tier tier) {
@@ -87,11 +101,11 @@ Nanoseconds Vmm::fault_in(PageId page, Tier tier) {
 Nanoseconds Vmm::migrate(PageId page, Tier destination) {
   PageTableEntry* entry = table_.find(page);
   HYMEM_CHECK_MSG(entry != nullptr, "migrate of non-resident page");
-  HYMEM_CHECK_MSG(entry->tier != destination, "migrate to current tier");
+  HYMEM_CHECK_MSG(entry->tier() != destination, "migrate to current tier");
   const auto frame = allocator(destination).allocate();
   HYMEM_CHECK_MSG(frame.has_value(), "migrate with no free destination frame");
-  const Tier source = entry->tier;
-  allocator(source).release(entry->frame);
+  const Tier source = entry->tier();
+  allocator(source).release(entry->frame());
   const Nanoseconds latency =
       dma_.migrate(device_mut(source), device_mut(destination));
   if (destination == Tier::kNvm) {
@@ -113,32 +127,32 @@ Nanoseconds Vmm::swap(PageId a, PageId b) {
   PageTableEntry* ea = table_.find(a);
   PageTableEntry* eb = table_.find(b);
   HYMEM_CHECK_MSG(ea != nullptr && eb != nullptr, "swap of non-resident page");
-  HYMEM_CHECK_MSG(ea->tier != eb->tier, "swap must cross modules");
+  HYMEM_CHECK_MSG(ea->tier() != eb->tier(), "swap must cross modules");
   // One DMA copy in each direction (a real implementation stages through a
   // bounce buffer; the cost model is identical).
-  Nanoseconds latency = dma_.migrate(device_mut(ea->tier), device_mut(eb->tier));
-  latency += dma_.migrate(device_mut(eb->tier), device_mut(ea->tier));
-  const Tier tier_a = ea->tier;
-  const FrameId frame_a = ea->frame;
-  const Tier tier_b = eb->tier;
-  const FrameId frame_b = eb->frame;
+  Nanoseconds latency = dma_.migrate(device_mut(ea->tier()), device_mut(eb->tier()));
+  latency += dma_.migrate(device_mut(eb->tier()), device_mut(ea->tier()));
+  const Tier tier_a = ea->tier();
+  const FrameId frame_a = ea->frame();
+  const Tier tier_b = eb->tier();
+  const FrameId frame_b = eb->frame();
   table_.remap(a, tier_b, frame_b);
   table_.remap(b, tier_a, frame_a);
   const PageTableEntry* into_nvm = tier_b == Tier::kNvm ? table_.find(a) : table_.find(b);
-  record_nvm_page_write(into_nvm->frame, mem::NvmWriteSource::kMigration);
+  record_nvm_page_write(into_nvm->frame(), mem::NvmWriteSource::kMigration);
   return latency;
 }
 
 void Vmm::touch_dirty(PageId page) {
   PageTableEntry* entry = table_.find(page);
   HYMEM_CHECK_MSG(entry != nullptr, "touch_dirty of non-resident page");
-  entry->dirty = true;
+  entry->mark_dirty();
 }
 
 void Vmm::evict(PageId page) {
   const PageTableEntry entry = table_.unmap(page);
-  allocator(entry.tier).release(entry.frame);
-  if (entry.dirty) disk_.write_page();
+  allocator(entry.tier()).release(entry.frame());
+  if (entry.dirty()) disk_.write_page();
 }
 
 }  // namespace hymem::os

@@ -53,6 +53,8 @@ class Vmm {
   bool is_resident(PageId page) const { return table_.is_resident(page); }
   /// Tier holding the page, or nullopt when it is on disk.
   std::optional<Tier> tier_of(PageId page) const;
+  /// Warms the page-table cache line for an upcoming access to `page`.
+  void prefetch_translation(PageId page) const { table_.prefetch(page); }
   bool has_free_frame(Tier tier) const;
   std::uint64_t frames(Tier tier) const;
   std::uint64_t resident(Tier tier) const { return table_.resident_in(tier); }
@@ -61,6 +63,19 @@ class Vmm {
   /// Serves a demand hit; the page must be resident. Returns the device
   /// latency. Marks the page dirty on writes and records NVM wear.
   Nanoseconds access(PageId page, AccessType type);
+
+  /// Result of a combined residency-check-plus-access (one page-table probe
+  /// instead of the historical is_resident/tier_of + access pair).
+  struct ResidentAccess {
+    Tier tier;
+    Nanoseconds latency;
+  };
+
+  /// If `page` is resident, serves the demand access (same accounting as
+  /// `access`) and reports which tier served it; otherwise does nothing and
+  /// returns nullopt. This is the one lookup every policy's hit path needs.
+  std::optional<ResidentAccess> access_if_resident(PageId page,
+                                                   AccessType type);
 
   /// Brings a page in from disk into `tier` (a free frame must exist).
   /// Returns the visible latency: the disk delay only — the paper overlaps

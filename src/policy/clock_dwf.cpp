@@ -30,18 +30,24 @@ Nanoseconds ClockDwfPolicy::demote_dram_victim() {
 }
 
 Nanoseconds ClockDwfPolicy::on_access(PageId page, AccessType type) {
+  if (type == AccessType::kRead) {
+    // Reads are served wherever the page lives — one combined probe+access.
+    if (const auto hit = vmm_.access_if_resident(page, type)) {
+      if (hit->tier == Tier::kNvm) nvm_.on_hit(page, type);
+      return hit->latency;
+    }
+    return fault_in_access(page, type);
+  }
+  // Writes dispatch on the tier BEFORE serving: a write to an NVM page is
+  // forcibly promoted first and served by DRAM, never by NVM.
   const auto tier = vmm_.tier_of(page);
   if (tier == Tier::kDram) {
     // Write-history-aware: only writes refresh the DRAM reference bit, so
     // read-dominant pages age out towards NVM.
-    if (type == AccessType::kWrite) dram_.on_hit(page, type);
+    dram_.on_hit(page, type);
     return vmm_.access(page, type);
   }
   if (tier == Tier::kNvm) {
-    if (type == AccessType::kRead) {
-      nvm_.on_hit(page, type);
-      return vmm_.access(page, type);
-    }
     // Write to an NVM page: forced promotion — NVM never serves writes.
     Nanoseconds latency = 0;
     if (vmm_.has_free_frame(Tier::kDram)) {
@@ -63,8 +69,12 @@ Nanoseconds ClockDwfPolicy::on_access(PageId page, AccessType type) {
     latency += vmm_.access(page, type);
     return latency;
   }
-  // Page fault. Writes (and any fault while DRAM has spare frames) fill
-  // DRAM; read faults fill NVM.
+  return fault_in_access(page, type);
+}
+
+// Page fault. Writes (and any fault while DRAM has spare frames) fill
+// DRAM; read faults fill NVM.
+Nanoseconds ClockDwfPolicy::fault_in_access(PageId page, AccessType type) {
   Nanoseconds latency = 0;
   const bool to_dram =
       type == AccessType::kWrite || vmm_.has_free_frame(Tier::kDram);

@@ -40,6 +40,9 @@ class ClockDwfPolicy final : public HybridPolicy {
   Nanoseconds demote_dram_victim();
   /// Makes room in NVM by evicting its clock victim to disk.
   void evict_nvm_victim();
+  /// Serves a page fault (CLOCK-DWF placement: writes and spare-DRAM faults
+  /// fill DRAM, read faults fill NVM).
+  Nanoseconds fault_in_access(PageId page, AccessType type);
 
   ClockPolicy dram_;
   ClockPolicy nvm_;

@@ -28,14 +28,15 @@ Nanoseconds DramCachePolicy::make_dram_room() {
 }
 
 Nanoseconds DramCachePolicy::on_access(PageId page, AccessType type) {
-  const auto tier = vmm_.tier_of(page);
-  if (tier == Tier::kDram) {
+  // One page-table probe classifies the access and serves resident hits.
+  const auto hit = vmm_.access_if_resident(page, type);
+  if (hit.has_value() && hit->tier == Tier::kDram) {
     dram_.on_hit(page, type);
-    return vmm_.access(page, type);
+    return hit->latency;
   }
-  if (tier == Tier::kNvm) {
-    // Serve from NVM, then promote unconditionally.
-    Nanoseconds latency = vmm_.access(page, type);
+  if (hit.has_value()) {
+    // Served from NVM; promote unconditionally.
+    Nanoseconds latency = hit->latency;
     if (vmm_.has_free_frame(Tier::kDram)) {
       nvm_.erase(page);
       latency += vmm_.migrate(page, Tier::kDram);

@@ -17,6 +17,11 @@ class DramCachePolicy final : public HybridPolicy {
 
   std::string_view name() const override { return "dram-cache"; }
   Nanoseconds on_access(PageId page, AccessType type) override;
+  void prefetch(PageId page) const override {
+    vmm_.prefetch_translation(page);
+    dram_.prefetch(page);
+    nvm_.prefetch(page);
+  }
 
  private:
   /// Frees one DRAM frame by demoting the DRAM LRU victim to NVM (evicting

@@ -4,8 +4,10 @@
 
 namespace hymem::policy {
 
-FifoPolicy::FifoPolicy(std::size_t capacity) : capacity_(capacity) {
+FifoPolicy::FifoPolicy(std::size_t capacity)
+    : capacity_(capacity), pool_(capacity) {
   HYMEM_CHECK_MSG(capacity > 0, "FIFO capacity must be positive");
+  index_.reserve(capacity);
 }
 
 void FifoPolicy::on_hit(PageId page, AccessType /*type*/) {
@@ -14,12 +16,13 @@ void FifoPolicy::on_hit(PageId page, AccessType /*type*/) {
 }
 
 void FifoPolicy::insert(PageId page, AccessType /*type*/) {
-  HYMEM_CHECK_MSG(!contains(page), "insert of tracked page");
   HYMEM_CHECK_MSG(size() < capacity_, "insert into full FIFO");
-  auto node = std::make_unique<Node>();
+  const auto [slot, inserted] = index_.try_emplace(page);
+  HYMEM_CHECK_MSG(inserted, "insert of tracked page");
+  Node* node = pool_.allocate();
   node->page = page;
+  *slot = node;
   list_.push_front(*node);
-  nodes_.emplace(page, std::move(node));
 }
 
 std::optional<PageId> FifoPolicy::select_victim() {
@@ -29,10 +32,10 @@ std::optional<PageId> FifoPolicy::select_victim() {
 }
 
 void FifoPolicy::erase(PageId page) {
-  const auto it = nodes_.find(page);
-  HYMEM_CHECK_MSG(it != nodes_.end(), "erase of untracked page");
-  list_.erase(*it->second);
-  nodes_.erase(it);
+  const std::optional<Node*> node = index_.take(page);
+  HYMEM_CHECK_MSG(node.has_value(), "erase of untracked page");
+  list_.erase(**node);
+  pool_.release(*node);
 }
 
 }  // namespace hymem::policy

@@ -2,24 +2,24 @@
 // bound for recency-aware policies in the baseline sweeps.
 #pragma once
 
-#include <memory>
-#include <unordered_map>
-
 #include "policy/replacement.hpp"
+#include "util/flat_page_map.hpp"
 #include "util/intrusive_list.hpp"
+#include "util/slab_pool.hpp"
 
 namespace hymem::policy {
 
-/// FIFO queue of pages.
+/// FIFO queue of pages (slab-allocated nodes, flat-map index; see LruPolicy).
 class FifoPolicy final : public ReplacementPolicy {
  public:
   explicit FifoPolicy(std::size_t capacity);
 
   std::string_view name() const override { return "fifo"; }
   std::size_t capacity() const override { return capacity_; }
-  std::size_t size() const override { return nodes_.size(); }
-  bool contains(PageId page) const override { return nodes_.count(page) > 0; }
+  std::size_t size() const override { return index_.size(); }
+  bool contains(PageId page) const override { return index_.contains(page); }
 
+  void prefetch(PageId page) const override { index_.prefetch(page); }
   void on_hit(PageId page, AccessType type) override;
   void insert(PageId page, AccessType type) override;
   std::optional<PageId> select_victim() override;
@@ -33,7 +33,8 @@ class FifoPolicy final : public ReplacementPolicy {
 
   std::size_t capacity_;
   IntrusiveList<Node, &Node::hook> list_;  // front = newest
-  std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+  util::SlabPool<Node> pool_;
+  util::FlatPageMap<Node*> index_;
 };
 
 }  // namespace hymem::policy

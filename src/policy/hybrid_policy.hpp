@@ -29,6 +29,12 @@ class HybridPolicy {
   /// (device hit latency, or disk latency plus any synchronous migrations).
   virtual Nanoseconds on_access(PageId page, AccessType type) = 0;
 
+  /// Hints that `page` will be accessed shortly: warms the cache lines the
+  /// policy's on_access will probe (page table, membership indexes). Replay
+  /// loops call this a fixed distance ahead of on_access; it must have no
+  /// architectural effect.
+  virtual void prefetch(PageId page) const { vmm_.prefetch_translation(page); }
+
   os::Vmm& vmm() { return vmm_; }
   const os::Vmm& vmm() const { return vmm_; }
 

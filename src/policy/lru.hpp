@@ -2,24 +2,43 @@
 // the DRAM-only baseline (Fig. 1) and the two queues of the proposed scheme.
 #pragma once
 
-#include <memory>
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
 #include "policy/replacement.hpp"
-#include "util/intrusive_list.hpp"
+#include "util/flat_page_map.hpp"
 
 namespace hymem::policy {
 
-/// Classic LRU over pages: O(1) hit, insert and eviction.
+/// Classic LRU over pages: O(1) hit, insert and eviction. The recency list
+/// is index-linked over one contiguous node array (16-byte nodes, 32-bit
+/// links) indexed by a flat open-addressing map with 32-bit values — the
+/// whole structure is a few dense arrays sized once at construction, so the
+/// per-access splice stays inside a compact, allocation-free working set.
 class LruPolicy final : public ReplacementPolicy {
  public:
   explicit LruPolicy(std::size_t capacity);
 
   std::string_view name() const override { return "lru"; }
   std::size_t capacity() const override { return capacity_; }
-  std::size_t size() const override { return nodes_.size(); }
-  bool contains(PageId page) const override { return nodes_.count(page) > 0; }
+  std::size_t size() const override { return index_.size(); }
+  // The ReplacementPolicy interface makes callers probe membership before
+  // acting (`contains` then `on_hit`/`erase`); remember the node the probe
+  // found so the action reuses it instead of paying a second hash lookup.
+  bool contains(PageId page) const override {
+    const std::uint32_t* found = index_.find(page);
+    last_lookup_ = found == nullptr ? kNoNode : *found;
+    last_key_ = page;
+    // The caller's next move on a hit is the MRU splice, and on a miss it
+    // is select_victim on the (by definition cold) LRU tail; start pulling
+    // the node each path needs so it arrives during the dispatch back.
+    __builtin_prefetch(
+        &nodes_[last_lookup_ == kNoNode ? nodes_[sentinel()].prev
+                                        : last_lookup_]);
+    return found != nullptr;
+  }
 
+  void prefetch(PageId page) const override { index_.prefetch(page); }
   void on_hit(PageId page, AccessType type) override;
   void insert(PageId page, AccessType type) override;
   std::optional<PageId> select_victim() override;
@@ -28,18 +47,57 @@ class LruPolicy final : public ReplacementPolicy {
   /// MRU-to-LRU page order (for tests).
   template <typename Fn>
   void for_each_mru_to_lru(Fn&& fn) const {
-    list_.for_each([&fn](const Node& n) { fn(n.page); });
+    for (std::uint32_t i = nodes_[sentinel()].next; i != sentinel();
+         i = nodes_[i].next) {
+      fn(nodes_[i].page);
+    }
   }
 
  private:
   struct Node {
     PageId page;
-    ListHook hook;
+    std::uint32_t prev;
+    std::uint32_t next;
   };
+  static constexpr std::uint32_t kNoNode = UINT32_MAX;
+
+  /// The circular list's sentinel node lives at index `capacity_`.
+  std::uint32_t sentinel() const {
+    return static_cast<std::uint32_t>(capacity_);
+  }
+
+  /// Returns the node index for `page` (the memoized one when
+  /// `contains(page)` was the last lookup), or kNoNode if untracked.
+  std::uint32_t lookup(PageId page) const {
+    if (last_key_ == page) return last_lookup_;
+    const std::uint32_t* found = index_.find(page);
+    return found == nullptr ? kNoNode : *found;
+  }
+  void forget(PageId page) const {
+    if (last_key_ == page) {
+      last_lookup_ = kNoNode;
+      last_key_ = kInvalidPage;
+    }
+  }
+
+  void unlink(std::uint32_t i) {
+    nodes_[nodes_[i].prev].next = nodes_[i].next;
+    nodes_[nodes_[i].next].prev = nodes_[i].prev;
+  }
+  void link_front(std::uint32_t i) {
+    const std::uint32_t head = nodes_[sentinel()].next;
+    nodes_[i].prev = sentinel();
+    nodes_[i].next = head;
+    nodes_[head].prev = i;
+    nodes_[sentinel()].next = i;
+  }
 
   std::size_t capacity_;
-  IntrusiveList<Node, &Node::hook> list_;  // front = MRU
-  std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+  std::vector<Node> nodes_;          // [0, capacity_) + sentinel at the end
+  std::vector<std::uint32_t> free_;  // unused node indices (stack)
+  util::FlatPageMap<std::uint32_t> index_;
+  mutable std::uint32_t last_lookup_ = kNoNode;
+  mutable PageId last_key_ = kInvalidPage;
 };
 
 }  // namespace hymem::policy

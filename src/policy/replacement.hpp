@@ -28,6 +28,10 @@ class ReplacementPolicy {
   virtual bool contains(PageId page) const = 0;
   bool full() const { return size() >= capacity(); }
 
+  /// Hints that `page` is about to be looked up: warms the membership
+  /// index's cache line. No architectural effect; no-op by default.
+  virtual void prefetch(PageId /*page*/) const {}
+
   /// Notifies a hit on a tracked page.
   virtual void on_hit(PageId page, AccessType type) = 0;
 

@@ -17,9 +17,10 @@ SingleTierPolicy::SingleTierPolicy(os::Vmm& vmm, Tier tier,
 }
 
 Nanoseconds SingleTierPolicy::on_access(PageId page, AccessType type) {
-  if (vmm_.is_resident(page)) {
+  // Combined residency probe + demand access: one page-table lookup.
+  if (const auto hit = vmm_.access_if_resident(page, type)) {
     replacement_->on_hit(page, type);
-    return vmm_.access(page, type);
+    return hit->latency;
   }
   if (replacement_->full()) {
     const auto victim = replacement_->select_victim();

@@ -19,6 +19,10 @@ class SingleTierPolicy final : public HybridPolicy {
 
   std::string_view name() const override { return name_; }
   Nanoseconds on_access(PageId page, AccessType type) override;
+  void prefetch(PageId page) const override {
+    vmm_.prefetch_translation(page);
+    replacement_->prefetch(page);
+  }
 
   const ReplacementPolicy& replacement() const { return *replacement_; }
 

@@ -23,9 +23,9 @@ Tier StaticPartitionPolicy::home(PageId page) const {
 Nanoseconds StaticPartitionPolicy::on_access(PageId page, AccessType type) {
   const Tier tier = home(page);
   LruPolicy& lru = tier == Tier::kDram ? dram_ : nvm_;
-  if (vmm_.is_resident(page)) {
+  if (const auto hit = vmm_.access_if_resident(page, type)) {
     lru.on_hit(page, type);
-    return vmm_.access(page, type);
+    return hit->latency;
   }
   if (lru.full()) {
     const auto victim = lru.select_victim();

@@ -15,6 +15,11 @@ class StaticPartitionPolicy final : public HybridPolicy {
 
   std::string_view name() const override { return "static-partition"; }
   Nanoseconds on_access(PageId page, AccessType type) override;
+  void prefetch(PageId page) const override {
+    vmm_.prefetch_translation(page);
+    dram_.prefetch(page);
+    nvm_.prefetch(page);
+  }
 
   /// Module a page is permanently assigned to.
   Tier home(PageId page) const;

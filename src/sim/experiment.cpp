@@ -5,6 +5,7 @@
 
 #include "sim/policy_factory.hpp"
 #include "synth/generator.hpp"
+#include "trace/interner.hpp"
 #include "trace/trace_stats.hpp"
 #include "util/check.hpp"
 
@@ -73,10 +74,18 @@ RunResult run_experiment(const trace::Trace& warmup,
   const MemorySizing sizing = size_memory(footprint_of(warmup, config), config);
   os::Vmm vmm(vmm_config_for(sizing, config));
   const auto policy = make_policy(config.policy, vmm, config.migration);
-  const std::uint64_t page_size = config.page_size;
+  // Decode the warmup trace once and replay the cached page sequence for
+  // every pass (the measured trace is decoded inside run_trace).
+  const trace::PageIdInterner interner(warmup, config.page_size);
+  const std::span<const PageId> pages = interner.pages();
+  const std::span<const trace::MemAccess> accesses = warmup.accesses();
+  constexpr std::size_t kPrefetchDistance = 8;
   for (unsigned pass = 0; pass < std::max(1u, config.warmup_passes); ++pass) {
-    for (const auto& access : warmup) {
-      policy->on_access(trace::page_of(access.addr, page_size), access.type);
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      if (i + kPrefetchDistance < pages.size()) {
+        policy->prefetch(pages[i + kPrefetchDistance]);
+      }
+      policy->on_access(pages[i], accesses[i].type);
     }
   }
   vmm.reset_accounting();

@@ -1,0 +1,39 @@
+#include "trace/interner.hpp"
+
+#include <bit>
+
+#include "trace/access.hpp"
+#include "util/check.hpp"
+#include "util/flat_page_map.hpp"
+
+namespace hymem::trace {
+
+PageIdInterner::PageIdInterner(const Trace& trace, std::uint64_t page_size)
+    : page_size_(page_size) {
+  HYMEM_CHECK_MSG(page_size > 0, "page size must be positive");
+  // Power-of-two page sizes (the overwhelmingly common case) decode with a
+  // shift; anything else falls back to the page_of division.
+  const bool pow2 = std::has_single_bit(page_size);
+  const int shift = pow2 ? std::countr_zero(page_size) : 0;
+  pages_.reserve(trace.size());
+  for (const MemAccess& access : trace.accesses()) {
+    pages_.push_back(pow2 ? access.addr >> shift
+                          : page_of(access.addr, page_size));
+  }
+}
+
+void PageIdInterner::ensure_dense() const {
+  if (!dense_.empty() || pages_.empty()) return;
+  dense_.reserve(pages_.size());
+  util::FlatPageMap<std::uint32_t> ids;
+  for (const PageId page : pages_) {
+    const auto [slot, inserted] = ids.try_emplace(page);
+    if (inserted) {
+      *slot = static_cast<std::uint32_t>(originals_.size());
+      originals_.push_back(page);
+    }
+    dense_.push_back(*slot);
+  }
+}
+
+}  // namespace hymem::trace

@@ -1,0 +1,67 @@
+// Page-ID interning: decode a trace's byte addresses to page IDs exactly
+// once, instead of re-dividing on every access of every warmup pass.
+//
+// `page_of` on the replay path is a 64-bit division by a runtime divisor —
+// tens of cycles per access before the policy does any work. The interner
+// pays it once per trace (as a shift: page sizes are powers of two), caches
+// the page sequence, and additionally assigns dense IDs in [0, N) in
+// first-touch order for consumers that want array indexing instead of
+// hashing (reuse-distance tools, benchmarks, tests).
+//
+// The replay engine feeds policies the *original* page IDs: several policies
+// (e.g. static-partition's hash-based home assignment) make decisions from
+// the ID value, so relabeling would change results. Dense IDs are an opt-in
+// view, not a substitute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace hymem::trace {
+
+/// One-shot decode of a trace at a given page size.
+class PageIdInterner {
+ public:
+  /// Decodes every access of `trace` at `page_size` (> 0; powers of two
+  /// decode with a shift, others with the page_of division).
+  PageIdInterner(const Trace& trace, std::uint64_t page_size);
+
+  std::uint64_t page_size() const { return page_size_; }
+
+  /// Page ID per access (same order and length as the trace).
+  std::span<const PageId> pages() const { return pages_; }
+
+  /// Dense ID in [0, unique_pages()) per access, assigned in first-touch
+  /// order. Built lazily on first use: the replay engine only needs
+  /// `pages()`, and the dense view costs a hash probe per access.
+  std::span<const std::uint32_t> dense_ids() const {
+    ensure_dense();
+    return dense_;
+  }
+
+  /// Number of distinct pages touched (the trace footprint).
+  std::size_t unique_pages() const {
+    ensure_dense();
+    return originals_.size();
+  }
+
+  /// Original page ID of a dense ID.
+  PageId original(std::uint32_t dense_id) const {
+    ensure_dense();
+    return originals_[dense_id];
+  }
+
+ private:
+  void ensure_dense() const;
+
+  std::uint64_t page_size_;
+  std::vector<PageId> pages_;
+  mutable std::vector<std::uint32_t> dense_;
+  mutable std::vector<PageId> originals_;  // dense id -> original page
+};
+
+}  // namespace hymem::trace

@@ -1,0 +1,196 @@
+// Open-addressing hash map keyed by PageId — the hot-path index of every
+// per-page structure (page table, LRU indexes, windowed-queue index,
+// promotion scoreboard).
+//
+// Why not std::unordered_map: the node-based layout costs one heap
+// allocation per insert and one dependent pointer chase per lookup, and its
+// chaining metadata evicts useful cache lines. This map stores keys and
+// values in two parallel power-of-two arrays, probes linearly, and erases by
+// backward shift — no tombstones, so probe sequences never degrade with
+// churn. Keys live in their own array so a probe walks 8 keys per cache
+// line and never pulls value bytes it does not need; the value array is
+// touched exactly once, on match.
+//
+// Contract: PageId `kInvalidPage` is reserved as the empty-slot sentinel and
+// must never be inserted (nothing in hymem uses it as a real page — it is
+// already the "no page" sentinel everywhere else).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace hymem::util {
+
+/// Finalizer-strength mixer (splitmix64). Page IDs decode from addresses in
+/// contiguous regions, so keys are dense and low-entropy; weaker
+/// locality-preserving hashes were tried and rejected — they pack dense key
+/// runs into long 100%-full clusters, which makes the backward-shift erase
+/// walk (and any aliased probe) degrade far more than the saved cache
+/// misses are worth.
+constexpr std::uint64_t hash_page_id(PageId key) {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Linear-probe open-addressing map PageId -> V. V must be default
+/// constructible and movable (values are moved during backward-shift erase
+/// and rehash).
+template <typename V>
+class FlatPageMap {
+ public:
+  FlatPageMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Grows the table so `n` entries fit without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    // Max load factor 1/2: linear probing without per-slot metadata clusters
+    // quickly, and the backward-shift erase pays for every extra cluster
+    // entry, so trade memory for uniformly short probe chains.
+    while (cap / 2 < n) cap *= 2;
+    if (cap > keys_.size()) rehash(cap);
+  }
+
+  V* find(PageId key) {
+    if (keys_.empty()) return nullptr;
+    for (std::size_t i = hash_page_id(key) & mask_;; i = (i + 1) & mask_) {
+      if (keys_[i] == key) return &values_[i];
+      if (keys_[i] == kInvalidPage) {
+        // An absent key is usually about to be inserted (fault fills, LRU
+        // refills); warm the value line of the slot the insert will take —
+        // the probe above only touched the key array.
+        __builtin_prefetch(&values_[i], /*rw=*/1);
+        return nullptr;
+      }
+    }
+  }
+  const V* find(PageId key) const {
+    return const_cast<FlatPageMap*>(this)->find(key);
+  }
+  bool contains(PageId key) const { return find(key) != nullptr; }
+
+  /// Hints the CPU to pull `key`'s home slot into cache. Replay loops know
+  /// the access sequence ahead of time, so probing can be overlapped with
+  /// the work of earlier accesses instead of stalling on a miss per probe.
+  void prefetch(PageId key) const {
+    if (!keys_.empty()) {
+      const std::size_t home = hash_page_id(key) & mask_;
+      __builtin_prefetch(&keys_[home]);
+      __builtin_prefetch(&values_[home]);
+    }
+  }
+
+  /// Inserts `{key, V{}}` if absent. Returns {value slot, inserted}. The
+  /// pointer is invalidated by any later insert or erase.
+  std::pair<V*, bool> try_emplace(PageId key) {
+    HYMEM_CHECK_MSG(key != kInvalidPage, "kInvalidPage is the empty sentinel");
+    if (keys_.empty() || size_ + 1 > keys_.size() / 2) {
+      rehash(keys_.empty() ? kMinCapacity : keys_.size() * 2);
+    }
+    for (std::size_t i = hash_page_id(key) & mask_;; i = (i + 1) & mask_) {
+      if (keys_[i] == key) return {&values_[i], false};
+      if (keys_[i] == kInvalidPage) {
+        keys_[i] = key;
+        values_[i] = V{};
+        ++size_;
+        return {&values_[i], true};
+      }
+    }
+  }
+
+  /// Removes `key` if present (backward-shift: the probe chain after the
+  /// hole is compacted, so no tombstones exist). Returns whether it was
+  /// present.
+  bool erase(PageId key) { return take(key).has_value(); }
+
+  /// Removes `key` and returns its value in the same single probe sequence,
+  /// or nullopt if absent.
+  std::optional<V> take(PageId key) {
+    if (keys_.empty()) return std::nullopt;
+    std::size_t i = hash_page_id(key) & mask_;
+    for (;; i = (i + 1) & mask_) {
+      if (keys_[i] == key) break;
+      if (keys_[i] == kInvalidPage) return std::nullopt;
+    }
+    std::optional<V> taken(std::move(values_[i]));
+    // Shift the displaced suffix of the cluster back over the hole.
+    std::size_t hole = i;
+    for (std::size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      if (keys_[j] == kInvalidPage) break;
+      const std::size_t home = hash_page_id(keys_[j]) & mask_;
+      // The entry may move into the hole only if its home position does not
+      // lie strictly inside (hole, j] — i.e. the wrap-aware displacement
+      // test.
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        keys_[hole] = keys_[j];
+        values_[hole] = std::move(values_[j]);
+        hole = j;
+      }
+    }
+    keys_[hole] = kInvalidPage;
+    values_[hole] = V{};
+    --size_;
+    return taken;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      keys_[i] = kInvalidPage;
+      values_[i] = V{};
+    }
+    size_ = 0;
+  }
+
+  /// Calls fn(PageId, V&) for every entry, in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kInvalidPage) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kInvalidPage) fn(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<PageId> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(new_capacity, kInvalidPage);
+    values_.assign(new_capacity, V{});
+    mask_ = new_capacity - 1;
+    for (std::size_t k = 0; k < old_keys.size(); ++k) {
+      if (old_keys[k] == kInvalidPage) continue;
+      for (std::size_t i = hash_page_id(old_keys[k]) & mask_;;
+           i = (i + 1) & mask_) {
+        if (keys_[i] == kInvalidPage) {
+          keys_[i] = old_keys[k];
+          values_[i] = std::move(old_values[k]);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<PageId> keys_;
+  std::vector<V> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hymem::util

@@ -70,16 +70,26 @@ class IntrusiveList {
     --size_;
   }
 
-  /// Moves an already-linked node to the front.
+  /// Moves an already-linked node to the front. This is the per-hit
+  /// operation of every LRU queue, so it splices directly (no unlink /
+  /// relink round trip, no size bookkeeping) and skips the no-op case.
   void move_to_front(T& node) {
-    erase(node);
-    push_front(node);
+    ListHook& h = node.*Hook;
+    HYMEM_CHECK_MSG(h.is_linked(), "node not linked");
+    if (sentinel_.next == &h) return;
+    h.prev->next = h.next;
+    h.next->prev = h.prev;
+    insert_after(&sentinel_, &h);
   }
 
   /// Moves an already-linked node to the back.
   void move_to_back(T& node) {
-    erase(node);
-    push_back(node);
+    ListHook& h = node.*Hook;
+    HYMEM_CHECK_MSG(h.is_linked(), "node not linked");
+    if (sentinel_.prev == &h) return;
+    h.prev->next = h.next;
+    h.next->prev = h.prev;
+    insert_after(sentinel_.prev, &h);
   }
 
   T* front() { return empty() ? nullptr : owner(sentinel_.next); }

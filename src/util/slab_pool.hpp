@@ -1,0 +1,93 @@
+// Slab allocator for queue nodes.
+//
+// The LRU/FIFO/windowed-queue nodes used to be individual heap allocations
+// (`std::make_unique` per insert), so list traversal pointer-chased across
+// the whole heap and every insert/erase paid malloc/free. A SlabPool hands
+// out nodes from large contiguous blocks and recycles freed nodes through an
+// intrusive free list: O(1) allocate/release with no per-node malloc, and
+// nodes that are inserted together tend to share cache lines.
+//
+// Addresses are stable for the lifetime of the pool (blocks never move), so
+// intrusive-list hooks and index pointers into the nodes stay valid.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hymem::util {
+
+/// Fixed-size-object pool. T must be trivially destructible (nodes are plain
+/// data), so the pool can drop whole blocks at destruction without tracking
+/// which slots are live.
+template <typename T>
+class SlabPool {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "SlabPool drops blocks wholesale; T must not need teardown");
+
+ public:
+  /// `capacity_hint` pre-sizes the first block so a structure with a known
+  /// maximum population (policy capacity, frame count) never re-allocates.
+  explicit SlabPool(std::size_t capacity_hint = 0)
+      : next_block_size_(capacity_hint > 0 ? capacity_hint : kDefaultBlock) {}
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Constructs a T. O(1); allocates a new block only when the free list and
+  /// the current block are both exhausted.
+  template <typename... Args>
+  T* allocate(Args&&... args) {
+    Slot* slot = free_head_;
+    if (slot != nullptr) {
+      free_head_ = slot->next_free;
+    } else {
+      if (used_in_block_ == block_slots_) grow();
+      slot = &blocks_.back()[used_in_block_++];
+    }
+    ++live_;
+    return ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+  }
+
+  /// Returns a node to the pool. The object is dead after this call.
+  void release(T* ptr) {
+    Slot* slot = std::launder(reinterpret_cast<Slot*>(ptr));
+    slot->next_free = free_head_;
+    free_head_ = slot;
+    --live_;
+  }
+
+  /// Nodes handed out and not yet released.
+  std::size_t live() const { return live_; }
+  /// Total slots across all blocks.
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  union Slot {
+    Slot* next_free;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  static constexpr std::size_t kDefaultBlock = 1024;
+
+  void grow() {
+    block_slots_ = next_block_size_;
+    next_block_size_ *= 2;  // geometric so pathological growth stays O(log n)
+    blocks_.push_back(std::make_unique<Slot[]>(block_slots_));
+    capacity_ += block_slots_;
+    used_in_block_ = 0;
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  Slot* free_head_ = nullptr;
+  std::size_t block_slots_ = 0;
+  std::size_t used_in_block_ = 0;
+  std::size_t next_block_size_;
+  std::size_t capacity_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace hymem::util

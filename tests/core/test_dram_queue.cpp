@@ -1,0 +1,81 @@
+#include "core/dram_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hymem::core {
+namespace {
+
+TEST(DramLruQueue, InsertAndVictimFollowLruOrder) {
+  DramLruQueue q(3);
+  q.insert(1, false);
+  q.insert(2, false);
+  q.insert(3, false);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.full());
+  ASSERT_TRUE(q.lru_victim().has_value());
+  EXPECT_EQ(*q.lru_victim(), 1u);
+
+  q.on_hit(1);  // 1 becomes MRU; LRU is now 2
+  EXPECT_EQ(*q.lru_victim(), 2u);
+}
+
+TEST(DramLruQueue, EraseReturnsScoreOnlyForPromotions) {
+  DramLruQueue q(4);
+  q.insert(10, /*promoted=*/false);
+  q.insert(20, /*promoted=*/true);
+  EXPECT_FALSE(q.erase(10).has_value());
+
+  q.on_hit(20);
+  q.on_hit(20);
+  const auto score = q.erase(20);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ(*score, 2u);
+}
+
+TEST(DramLruQueue, PromotionHitsCountOnlyDemandHits) {
+  DramLruQueue q(4);
+  q.insert(5, /*promoted=*/true);
+  ASSERT_TRUE(q.promotion_hits(5).has_value());
+  EXPECT_EQ(*q.promotion_hits(5), 0u);
+  q.on_hit(5);
+  EXPECT_EQ(*q.promotion_hits(5), 1u);
+
+  q.insert(6, /*promoted=*/false);
+  q.on_hit(6);
+  EXPECT_FALSE(q.promotion_hits(6).has_value());
+  EXPECT_FALSE(q.promotion_hits(999).has_value());
+}
+
+TEST(DramLruQueue, ReinsertAfterEraseStartsFresh) {
+  DramLruQueue q(2);
+  q.insert(7, /*promoted=*/true);
+  q.on_hit(7);
+  EXPECT_EQ(*q.erase(7), 1u);
+  // A page that comes back as a plain fault fill is no longer a promotion.
+  q.insert(7, /*promoted=*/false);
+  EXPECT_FALSE(q.promotion_hits(7).has_value());
+  EXPECT_FALSE(q.erase(7).has_value());
+}
+
+TEST(DramLruQueue, RejectsMisuse) {
+  EXPECT_THROW(DramLruQueue(0), std::logic_error);
+  DramLruQueue q(1);
+  EXPECT_THROW(q.on_hit(3), std::logic_error);
+  EXPECT_THROW(q.erase(3), std::logic_error);
+  q.insert(3, false);
+  EXPECT_THROW(q.insert(9, false), std::logic_error);  // full
+  EXPECT_FALSE(q.lru_victim().has_value() && q.size() != 1);
+}
+
+TEST(DramLruQueue, EmptyQueueHasNoVictim) {
+  DramLruQueue q(2);
+  EXPECT_FALSE(q.lru_victim().has_value());
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 2u);
+}
+
+}  // namespace
+}  // namespace hymem::core

@@ -12,11 +12,11 @@ TEST(PageTable, MapLookupUnmap) {
   ASSERT_TRUE(pt.is_resident(7));
   const auto entry = pt.lookup(7);
   ASSERT_TRUE(entry.has_value());
-  EXPECT_EQ(entry->tier, Tier::kDram);
-  EXPECT_EQ(entry->frame, 3u);
-  EXPECT_FALSE(entry->dirty);
+  EXPECT_EQ(entry->tier(), Tier::kDram);
+  EXPECT_EQ(entry->frame(), 3u);
+  EXPECT_FALSE(entry->dirty());
   const auto removed = pt.unmap(7);
-  EXPECT_EQ(removed.frame, 3u);
+  EXPECT_EQ(removed.frame(), 3u);
   EXPECT_FALSE(pt.is_resident(7));
 }
 
@@ -38,9 +38,9 @@ TEST(PageTable, RemapKeepsDirtyBit) {
   pt.remap(5, Tier::kDram, 9);
   const auto entry = pt.lookup(5);
   ASSERT_TRUE(entry.has_value());
-  EXPECT_EQ(entry->tier, Tier::kDram);
-  EXPECT_EQ(entry->frame, 9u);
-  EXPECT_TRUE(entry->dirty);
+  EXPECT_EQ(entry->tier(), Tier::kDram);
+  EXPECT_EQ(entry->frame(), 9u);
+  EXPECT_TRUE(entry->dirty());
   EXPECT_EQ(pt.resident_in(Tier::kDram), 1u);
   EXPECT_EQ(pt.resident_in(Tier::kNvm), 0u);
 }
@@ -50,8 +50,8 @@ TEST(PageTable, FindAllowsInPlaceUpdate) {
   pt.map(5, Tier::kDram, 2);
   PageTableEntry* entry = pt.find(5);
   ASSERT_NE(entry, nullptr);
-  entry->dirty = true;
-  EXPECT_TRUE(pt.lookup(5)->dirty);
+  entry->mark_dirty();
+  EXPECT_TRUE(pt.lookup(5)->dirty());
   EXPECT_EQ(pt.find(99), nullptr);
 }
 

@@ -1,0 +1,87 @@
+#include "trace/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "trace/access.hpp"
+#include "trace/trace.hpp"
+
+namespace hymem::trace {
+namespace {
+
+Trace make_trace(std::initializer_list<Addr> addrs) {
+  Trace trace("t");
+  for (const Addr a : addrs) trace.append(a, AccessType::kRead);
+  return trace;
+}
+
+TEST(PageIdInterner, DecodesEveryAccessInOrder) {
+  const Trace trace = make_trace({0, 4095, 4096, 12288, 4097});
+  const PageIdInterner interner(trace, 4096);
+  const auto pages = interner.pages();
+  ASSERT_EQ(pages.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(pages[i], page_of(trace[i].addr, 4096)) << i;
+  }
+}
+
+TEST(PageIdInterner, MatchesPageOfForNonPowerOfTwoPageSize) {
+  // Power-of-two sizes decode with a shift; anything else must fall back to
+  // the division and agree with page_of exactly.
+  const Trace trace = make_trace({0, 2999, 3000, 9000, 123456789});
+  const PageIdInterner interner(trace, 3000);
+  const auto pages = interner.pages();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(pages[i], page_of(trace[i].addr, 3000)) << i;
+  }
+}
+
+TEST(PageIdInterner, DenseIdsAreFirstTouchOrdered) {
+  // Pages: 0, 0, 1, 3, 1 → dense 0, 0, 1, 2, 1.
+  const Trace trace = make_trace({100, 200, 4096, 12288, 5000});
+  const PageIdInterner interner(trace, 4096);
+  const auto dense = interner.dense_ids();
+  ASSERT_EQ(dense.size(), 5u);
+  EXPECT_EQ(dense[0], 0u);
+  EXPECT_EQ(dense[1], 0u);
+  EXPECT_EQ(dense[2], 1u);
+  EXPECT_EQ(dense[3], 2u);
+  EXPECT_EQ(dense[4], 1u);
+  EXPECT_EQ(interner.unique_pages(), 3u);
+}
+
+TEST(PageIdInterner, OriginalRoundTripsDenseIds) {
+  const Trace trace = make_trace({8192, 0, 40960, 8192, 81920});
+  const PageIdInterner interner(trace, 4096);
+  const auto pages = interner.pages();
+  const auto dense = interner.dense_ids();
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(interner.original(dense[i]), pages[i]) << i;
+  }
+  // Dense IDs cover exactly [0, unique_pages()).
+  std::unordered_set<std::uint32_t> seen(dense.begin(), dense.end());
+  EXPECT_EQ(seen.size(), interner.unique_pages());
+  for (std::uint32_t id = 0; id < interner.unique_pages(); ++id) {
+    EXPECT_TRUE(seen.contains(id));
+  }
+}
+
+TEST(PageIdInterner, DenseViewIsConsistentAfterPagesOnlyUse) {
+  // The dense view is built lazily; interleaving pages() reads with the
+  // first dense_ids() call must not change either view.
+  const Trace trace = make_trace({0, 4096, 0, 8192});
+  const PageIdInterner interner(trace, 4096);
+  const auto before = interner.pages();
+  EXPECT_EQ(before[3], 2u);
+  EXPECT_EQ(interner.unique_pages(), 3u);  // forces the dense build
+  const auto after = interner.pages();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hymem::trace

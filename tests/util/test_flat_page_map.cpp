@@ -1,0 +1,184 @@
+#include "util/flat_page_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hymem::util {
+namespace {
+
+TEST(FlatPageMap, StartsEmpty) {
+  FlatPageMap<int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_FALSE(map.erase(7));
+  EXPECT_FALSE(map.take(7).has_value());
+}
+
+TEST(FlatPageMap, InsertFindErase) {
+  FlatPageMap<int> map;
+  const auto [slot, inserted] = map.try_emplace(42);
+  ASSERT_TRUE(inserted);
+  *slot = 11;
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 11);
+
+  const auto [again, second] = map.try_emplace(42);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(*again, 11);
+  EXPECT_EQ(map.size(), 1u);
+
+  EXPECT_TRUE(map.erase(42));
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatPageMap, TakeReturnsValue) {
+  FlatPageMap<int> map;
+  *map.try_emplace(5).first = 50;
+  const auto taken = map.take(5);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(*taken, 50);
+  EXPECT_FALSE(map.contains(5));
+}
+
+TEST(FlatPageMap, RejectsSentinelKey) {
+  FlatPageMap<int> map;
+  EXPECT_THROW(map.try_emplace(kInvalidPage), std::logic_error);
+}
+
+TEST(FlatPageMap, ReserveAvoidsGrowth) {
+  FlatPageMap<int> map;
+  map.reserve(1000);
+  // Pointers stay valid across inserts up to the reserved population —
+  // i.e. no rehash happened.
+  int* first = map.try_emplace(0).first;
+  for (PageId p = 1; p < 1000; ++p) map.try_emplace(p);
+  EXPECT_EQ(first, map.find(0));
+  EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(FlatPageMap, ClearEmptiesButKeepsWorking) {
+  FlatPageMap<int> map;
+  for (PageId p = 0; p < 100; ++p) *map.try_emplace(p).first = static_cast<int>(p);
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  for (PageId p = 0; p < 100; ++p) EXPECT_FALSE(map.contains(p));
+  *map.try_emplace(3).first = 33;
+  EXPECT_EQ(*map.find(3), 33);
+}
+
+TEST(FlatPageMap, DenseSequentialKeys) {
+  // Page IDs decode from contiguous address regions, so dense runs are the
+  // common case; they must probe and erase correctly despite clustering.
+  FlatPageMap<std::uint64_t> map;
+  for (PageId p = 0; p < 5000; ++p) *map.try_emplace(p).first = p * 3;
+  for (PageId p = 0; p < 5000; ++p) {
+    ASSERT_NE(map.find(p), nullptr) << p;
+    EXPECT_EQ(*map.find(p), p * 3);
+  }
+  // Erase every other key, then verify the survivors (backward-shift must
+  // keep every remaining probe chain reachable).
+  for (PageId p = 0; p < 5000; p += 2) EXPECT_TRUE(map.erase(p));
+  for (PageId p = 0; p < 5000; ++p) {
+    EXPECT_EQ(map.contains(p), p % 2 == 1) << p;
+  }
+}
+
+// The core property test: a FlatPageMap and a std::unordered_map fed the
+// same randomized churn must agree on every lookup, every erase result and
+// the full iteration contents. Mixed key ranges force wrap-around clusters
+// and long backward shifts.
+TEST(FlatPageMap, MatchesUnorderedMapUnderChurn) {
+  FlatPageMap<std::uint64_t> map;
+  std::unordered_map<PageId, std::uint64_t> reference;
+  Rng rng(1234);
+  std::uint64_t next_value = 1;
+  for (int step = 0; step < 200000; ++step) {
+    // Narrow key range → heavy insert/erase of the *same* keys, which is
+    // exactly the regime where stale tombstones or a wrong shift test break
+    // probe chains.
+    const PageId key = rng.next_below(512);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {  // insert (or re-find)
+        const auto [slot, inserted] = map.try_emplace(key);
+        const auto [it, ref_inserted] = reference.try_emplace(key, 0);
+        ASSERT_EQ(inserted, ref_inserted);
+        if (inserted) {
+          *slot = next_value;
+          it->second = next_value;
+          ++next_value;
+        } else {
+          ASSERT_EQ(*slot, it->second);
+        }
+        break;
+      }
+      case 2: {  // erase
+        ASSERT_EQ(map.erase(key), reference.erase(key) == 1);
+        break;
+      }
+      case 3: {  // lookup
+        const std::uint64_t* found = map.find(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          ASSERT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          ASSERT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), reference.size());
+  }
+  // Full-iteration parity at the end.
+  std::vector<std::pair<PageId, std::uint64_t>> entries;
+  map.for_each([&entries](PageId key, std::uint64_t& value) {
+    entries.emplace_back(key, value);
+  });
+  ASSERT_EQ(entries.size(), reference.size());
+  for (const auto& [key, value] : entries) {
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(value, it->second);
+  }
+}
+
+// Same property under sparse, high-entropy keys (hashes land anywhere in
+// the table, including the wrap-around seam).
+TEST(FlatPageMap, MatchesUnorderedMapSparseKeys) {
+  FlatPageMap<std::uint64_t> map;
+  std::unordered_map<PageId, std::uint64_t> reference;
+  Rng rng(99);
+  std::vector<PageId> keys;
+  for (int i = 0; i < 400; ++i) {
+    keys.push_back(rng.next() | (static_cast<PageId>(1) << 60));
+  }
+  for (int step = 0; step < 50000; ++step) {
+    const PageId key = keys[rng.next_below(keys.size())];
+    if (rng.next_bool(0.6)) {
+      const auto [slot, inserted] = map.try_emplace(key);
+      reference.try_emplace(key, 7);
+      if (inserted) *slot = 7;
+    } else {
+      ASSERT_EQ(map.take(key).has_value(), reference.erase(key) == 1);
+    }
+  }
+  ASSERT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(map.contains(key));
+  }
+}
+
+}  // namespace
+}  // namespace hymem::util
