@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/figure_schemas.hpp"
 
 using namespace hymem;
 
@@ -16,8 +17,7 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Fig. 1 — DRAM-only power breakdown (normalized per workload)", ctx);
 
-  sim::FigureTable table("Fig. 1: DRAM-only APPR shares",
-                         {"static", "dynamic", "pagefault"}, {"dram-only"});
+  sim::FigureTable table = sim::figure_schema("fig1").make_table();
   for (const auto& profile : synth::parsec_profiles()) {
     const auto result = bench::run(profile, "dram-only", ctx);
     const auto power = result.appr();

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/figure_schemas.hpp"
 
 using namespace hymem;
 
@@ -14,8 +15,7 @@ int main(int argc, char** argv) {
   const auto ctx = bench::parse_args(argc, argv);
   bench::print_header("Fig. 2a — CLOCK-DWF power normalized to DRAM-only", ctx);
 
-  sim::FigureTable table("Fig. 2a: CLOCK-DWF APPR / DRAM-only APPR",
-                         {"static", "dynamic", "migration"}, {"clock-dwf"});
+  sim::FigureTable table = sim::figure_schema("fig2a").make_table();
   for (const auto& profile : synth::parsec_profiles()) {
     const auto base = bench::run(profile, "dram-only", ctx).appr().total();
     const auto power = bench::run(profile, "clock-dwf", ctx).appr();

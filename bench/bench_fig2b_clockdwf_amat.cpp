@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/figure_schemas.hpp"
 
 using namespace hymem;
 
@@ -14,8 +15,7 @@ int main(int argc, char** argv) {
   const auto ctx = bench::parse_args(argc, argv);
   bench::print_header("Fig. 2b — CLOCK-DWF AMAT normalized to DRAM-only", ctx);
 
-  sim::FigureTable table("Fig. 2b: CLOCK-DWF AMAT / DRAM-only AMAT",
-                         {"requests", "migration"}, {"clock-dwf"});
+  sim::FigureTable table = sim::figure_schema("fig2b").make_table();
   for (const auto& profile : synth::parsec_profiles()) {
     const auto base = bench::run(profile, "dram-only", ctx).amat().total();
     const auto amat = bench::run(profile, "clock-dwf", ctx).amat();

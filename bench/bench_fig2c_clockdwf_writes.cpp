@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/figure_schemas.hpp"
 
 using namespace hymem;
 
@@ -16,8 +17,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 2c — CLOCK-DWF NVM writes normalized to NVM-only",
                       ctx);
 
-  sim::FigureTable table("Fig. 2c: CLOCK-DWF NVM writes / NVM-only writes",
-                         {"pagefault", "migration", "demand"}, {"clock-dwf"});
+  sim::FigureTable table = sim::figure_schema("fig2c").make_table();
   for (const auto& profile : synth::parsec_profiles()) {
     const auto base =
         static_cast<double>(bench::run(profile, "nvm-only", ctx)

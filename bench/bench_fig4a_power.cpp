@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/figure_schemas.hpp"
 
 using namespace hymem;
 
@@ -18,9 +19,7 @@ int main(int argc, char** argv) {
       "Fig. 4a — power of CLOCK-DWF vs proposed, normalized to DRAM-only",
       ctx);
 
-  sim::FigureTable table("Fig. 4a: APPR / DRAM-only APPR",
-                         {"static", "dynamic", "migration"},
-                         {"clock-dwf", "two-lru"});
+  sim::FigureTable table = sim::figure_schema("fig4a").make_table();
   for (const auto& profile : synth::parsec_profiles()) {
     const double base = bench::run(profile, "dram-only", ctx).appr().total();
     std::vector<sim::Stack> stacks;

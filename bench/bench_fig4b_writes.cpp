@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/figure_schemas.hpp"
 
 using namespace hymem;
 
@@ -18,9 +19,7 @@ int main(int argc, char** argv) {
       "Fig. 4b — NVM writes of CLOCK-DWF vs proposed, normalized to NVM-only",
       ctx);
 
-  sim::FigureTable table("Fig. 4b: NVM writes / NVM-only writes",
-                         {"pagefault", "migration", "demand"},
-                         {"clock-dwf", "two-lru"});
+  sim::FigureTable table = sim::figure_schema("fig4b").make_table();
   for (const auto& profile : synth::parsec_profiles()) {
     const auto base =
         static_cast<double>(bench::run(profile, "nvm-only", ctx)

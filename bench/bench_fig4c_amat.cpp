@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/figure_schemas.hpp"
 
 using namespace hymem;
 
@@ -15,8 +16,7 @@ int main(int argc, char** argv) {
   const auto ctx = bench::parse_args(argc, argv);
   bench::print_header("Fig. 4c — proposed AMAT normalized to CLOCK-DWF", ctx);
 
-  sim::FigureTable table("Fig. 4c: proposed AMAT / CLOCK-DWF AMAT",
-                         {"requests", "migration"}, {"two-lru"});
+  sim::FigureTable table = sim::figure_schema("fig4c").make_table();
   for (const auto& profile : synth::parsec_profiles()) {
     const double base = bench::run(profile, "clock-dwf", ctx).amat().total();
     const auto amat = bench::run(profile, "two-lru", ctx).amat();

@@ -6,6 +6,7 @@
 
 #include "bench_common.hpp"
 #include "model/probabilities.hpp"
+#include "sim/figure_schemas.hpp"
 #include "util/table.hpp"
 
 using namespace hymem;
@@ -16,8 +17,7 @@ int main(int argc, char** argv) {
 
   for (const char* policy : {"clock-dwf", "two-lru"}) {
     std::cout << "--- " << policy << " ---\n";
-    TextTable table({"workload", "PHitDRAM", "PHitNVM", "PMiss", "PWDRAM",
-                     "PWNVM", "PMigD", "PMigN", "PDiskToD"});
+    TextTable table(sim::table_schema("table1").columns);
     for (const auto& profile : synth::parsec_profiles()) {
       const auto result = bench::run(profile, policy, ctx);
       const auto p = model::probabilities(result.counts);

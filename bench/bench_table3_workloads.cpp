@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sim/figure_schemas.hpp"
 #include "synth/generator.hpp"
 #include "trace/trace_stats.hpp"
 #include "util/table.hpp"
@@ -17,8 +18,7 @@ int main(int argc, char** argv) {
   const auto ctx = bench::parse_args(argc, argv);
   bench::print_header("Table III — workload characterization (measured)", ctx);
 
-  TextTable table({"Workload", "Working Set (KB)", "# Reads", "# Writes",
-                   "read %", "write %", "write-dominant pages"});
+  TextTable table(sim::table_schema("table3").columns);
   for (const auto& base : synth::parsec_profiles()) {
     const auto profile = base.scaled(ctx.scale);
     synth::GeneratorOptions options;

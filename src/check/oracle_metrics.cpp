@@ -1,0 +1,136 @@
+#include "check/oracle_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hymem::check {
+
+namespace {
+
+/// a / b with the convention 0/0 = 0 (an absent event class contributes no
+/// probability mass).
+double ratio(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+}  // namespace
+
+OracleMetrics recompute_metrics(const ReferenceCounts& c,
+                                const model::ModelParams& p,
+                                std::uint64_t page_factor, double duration_s) {
+  HYMEM_CHECK_MSG(c.accesses > 0, "metrics of an empty run");
+  const std::uint64_t n = c.accesses;
+  const double pf = static_cast<double>(page_factor);
+
+  // The paper's Table I probabilities.
+  const double p_hit_dram = ratio(c.dram_hits(), n);
+  const double p_hit_nvm = ratio(c.nvm_hits(), n);
+  const double p_miss = ratio(c.page_faults, n);
+  const double p_r_dram = ratio(c.dram_read_hits, c.dram_hits());
+  const double p_w_dram = ratio(c.dram_write_hits, c.dram_hits());
+  const double p_r_nvm = ratio(c.nvm_read_hits, c.nvm_hits());
+  const double p_w_nvm = ratio(c.nvm_write_hits, c.nvm_hits());
+  const double p_mig_d = ratio(c.migrations_to_dram, n);
+  const double p_mig_n = ratio(c.migrations_to_nvm, n);
+  const double p_disk_to_d = ratio(c.fills_to_dram, c.page_faults);
+  const double p_disk_to_n = ratio(c.fills_to_nvm, c.page_faults);
+
+  // Migration latency composition: DMA sums source read + destination
+  // write; an integrated module overlaps them.
+  const auto compose = [&](Nanoseconds read_ns, Nanoseconds write_ns) {
+    return p.transfer_mode == mem::TransferMode::kDma
+               ? read_ns + write_ns
+               : std::max(read_ns, write_ns);
+  };
+
+  OracleMetrics m;
+  // Eq. 1 verbatim.
+  m.amat_hit_ns = p_hit_dram * (p_r_dram * p.dram.read_latency_ns +
+                                p_w_dram * p.dram.write_latency_ns) +
+                  p_hit_nvm * (p_r_nvm * p.nvm.read_latency_ns +
+                               p_w_nvm * p.nvm.write_latency_ns);
+  m.amat_fault_ns = p_miss * p.disk_latency_ns;
+  m.amat_migration_ns =
+      p_mig_d * pf * compose(p.nvm.read_latency_ns, p.dram.write_latency_ns) +
+      p_mig_n * pf * compose(p.dram.read_latency_ns, p.nvm.write_latency_ns);
+
+  // Eq. 2 verbatim.
+  m.appr_hit_nj = p_hit_dram * (p_r_dram * p.dram.read_energy_nj +
+                                p_w_dram * p.dram.write_energy_nj) +
+                  p_hit_nvm * (p_r_nvm * p.nvm.read_energy_nj +
+                               p_w_nvm * p.nvm.write_energy_nj);
+  m.appr_fault_fill_nj =
+      p_miss * p_disk_to_d * pf * p.dram.write_energy_nj +
+      p_miss * p_disk_to_n * pf * p.nvm.write_energy_nj;
+  m.appr_migration_nj =
+      p_mig_d * pf * (p.nvm.read_energy_nj + p.dram.write_energy_nj) +
+      p_mig_n * pf * (p.dram.read_energy_nj + p.nvm.write_energy_nj);
+  // Eq. 3: both modules' static power over the ROI, prorated per request.
+  m.appr_static_nj =
+      p.total_static_power() * duration_s * 1e9 / static_cast<double>(n);
+
+  // Endurance breakdown straight from the oracle's cell-write ledger (the
+  // reference model charges 1 per demand write and PageFactor per page
+  // moved, independently of the event counts above).
+  m.nvm_demand_writes = c.nvm_demand_cell_writes;
+  m.nvm_fault_fill_writes = c.nvm_fill_cell_writes;
+  m.nvm_migration_writes = c.nvm_migration_cell_writes;
+  return m;
+}
+
+namespace {
+
+bool close(double a, double b, double rel_tol) {
+  return std::abs(a - b) <= rel_tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+std::optional<std::string> diff_metrics(const OracleMetrics& m,
+                                        const model::AmatBreakdown& amat,
+                                        const model::PowerBreakdown& appr,
+                                        const model::NvmWriteBreakdown& writes,
+                                        double rel_tol) {
+  const auto mismatch = [&](const char* name, double oracle,
+                            double sim) -> std::string {
+    std::ostringstream os;
+    os.precision(17);
+    os << name << ": oracle recomputation " << oracle << " vs model " << sim;
+    return os.str();
+  };
+  if (!close(m.amat_hit_ns, amat.hit_ns, rel_tol))
+    return mismatch("amat_hit_ns", m.amat_hit_ns, amat.hit_ns);
+  if (!close(m.amat_fault_ns, amat.fault_ns, rel_tol))
+    return mismatch("amat_fault_ns", m.amat_fault_ns, amat.fault_ns);
+  if (!close(m.amat_migration_ns, amat.migration_ns, rel_tol))
+    return mismatch("amat_migration_ns", m.amat_migration_ns,
+                    amat.migration_ns);
+  if (!close(m.appr_static_nj, appr.static_nj, rel_tol))
+    return mismatch("appr_static_nj", m.appr_static_nj, appr.static_nj);
+  if (!close(m.appr_hit_nj, appr.hit_nj, rel_tol))
+    return mismatch("appr_hit_nj", m.appr_hit_nj, appr.hit_nj);
+  if (!close(m.appr_fault_fill_nj, appr.fault_fill_nj, rel_tol))
+    return mismatch("appr_fault_fill_nj", m.appr_fault_fill_nj,
+                    appr.fault_fill_nj);
+  if (!close(m.appr_migration_nj, appr.migration_nj, rel_tol))
+    return mismatch("appr_migration_nj", m.appr_migration_nj,
+                    appr.migration_nj);
+  if (m.nvm_demand_writes != writes.demand_writes)
+    return mismatch("nvm_demand_writes",
+                    static_cast<double>(m.nvm_demand_writes),
+                    static_cast<double>(writes.demand_writes));
+  if (m.nvm_fault_fill_writes != writes.fault_fill_writes)
+    return mismatch("nvm_fault_fill_writes",
+                    static_cast<double>(m.nvm_fault_fill_writes),
+                    static_cast<double>(writes.fault_fill_writes));
+  if (m.nvm_migration_writes != writes.migration_writes)
+    return mismatch("nvm_migration_writes",
+                    static_cast<double>(m.nvm_migration_writes),
+                    static_cast<double>(writes.migration_writes));
+  return std::nullopt;
+}
+
+}  // namespace hymem::check

@@ -1,0 +1,68 @@
+// Independent recomputation of the paper's analytic models (Eq. 1 AMAT,
+// Eq. 2 APPR, Eq. 3 static power, and the endurance write breakdown) from
+// raw event counts.
+//
+// src/model implements the equations in *counts form* (every probability
+// multiplied out, so 0/0 corners vanish). This oracle recomputes them in
+// the *probability form the paper publishes* — PHitDRAM, PRDRAM, PMiss,
+// PMigD, ... — from a ReferenceCounts ledger the reference model tracked
+// itself. The two derivations are mathematically identical, so the
+// differential harness requires them to agree to floating-point noise; any
+// larger gap means one side's accounting drifted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/reference_model.hpp"
+#include "model/endurance_model.hpp"
+#include "model/model_params.hpp"
+#include "model/perf_model.hpp"
+#include "model/power_model.hpp"
+
+namespace hymem::check {
+
+/// The oracle's view of every derived metric.
+struct OracleMetrics {
+  // Eq. 1 (ns per request).
+  double amat_hit_ns = 0;
+  double amat_fault_ns = 0;
+  double amat_migration_ns = 0;
+  // Eq. 2 + Eq. 3 (nJ per request).
+  double appr_static_nj = 0;
+  double appr_hit_nj = 0;
+  double appr_fault_fill_nj = 0;
+  double appr_migration_nj = 0;
+  // Endurance: NVM physical writes per source, in device-access units.
+  std::uint64_t nvm_demand_writes = 0;
+  std::uint64_t nvm_fault_fill_writes = 0;
+  std::uint64_t nvm_migration_writes = 0;
+
+  double amat_total_ns() const {
+    return amat_hit_ns + amat_fault_ns + amat_migration_ns;
+  }
+  double appr_total_nj() const {
+    return appr_static_nj + appr_hit_nj + appr_fault_fill_nj +
+           appr_migration_nj;
+  }
+};
+
+/// Recomputes Eqs. 1-3 and the endurance breakdown in probability form.
+/// `page_factor` must match the configuration the counts were produced
+/// under; `duration_s` is the ROI wall time prorating static power.
+OracleMetrics recompute_metrics(const ReferenceCounts& counts,
+                                const model::ModelParams& params,
+                                std::uint64_t page_factor, double duration_s);
+
+/// Compares the oracle's metrics against the production models' output.
+/// Doubles compare with relative tolerance `rel_tol`; endurance counts
+/// compare exactly. Returns a description of the first mismatch, or
+/// nullopt when everything agrees.
+std::optional<std::string> diff_metrics(const OracleMetrics& oracle,
+                                        const model::AmatBreakdown& amat,
+                                        const model::PowerBreakdown& appr,
+                                        const model::NvmWriteBreakdown& writes,
+                                        double rel_tol = 1e-9);
+
+}  // namespace hymem::check

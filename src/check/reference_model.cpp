@@ -1,0 +1,249 @@
+#include "check/reference_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hymem::check {
+
+namespace {
+
+std::size_t window_target(double perc, std::size_t capacity) {
+  HYMEM_CHECK_MSG(perc >= 0.0 && perc <= 1.0, "window fraction out of [0,1]");
+  // Same spec decision as the production queue (independently transcribed):
+  // products a round-off hair above an integer snap back before the ceil,
+  // so 7% of 100 positions is 7, not 8.
+  const double product = perc * static_cast<double>(capacity);
+  const double nearest = std::round(product);
+  const double snapped =
+      std::abs(product - nearest) <= 1e-9 * std::max(1.0, nearest) ? nearest
+                                                                   : product;
+  return std::min(capacity, static_cast<std::size_t>(std::ceil(snapped)));
+}
+
+}  // namespace
+
+ReferenceModel::ReferenceModel(std::size_t dram_frames, std::size_t nvm_frames,
+                               const core::MigrationConfig& config,
+                               std::uint64_t page_factor)
+    : dram_capacity_(dram_frames),
+      nvm_capacity_(nvm_frames),
+      config_(config),
+      page_factor_(page_factor),
+      read_target_(window_target(config.read_perc, nvm_frames)),
+      write_target_(window_target(config.write_perc, nvm_frames)) {
+  HYMEM_CHECK_MSG(dram_frames > 0 && nvm_frames > 0,
+                  "the migration scheme needs both modules populated");
+  HYMEM_CHECK_MSG(!config.adaptive,
+                  "the reference model covers the non-adaptive scheme");
+}
+
+std::size_t ReferenceModel::read_window_size() const {
+  return std::min(read_target_, nvm_.size());
+}
+
+std::size_t ReferenceModel::write_window_size() const {
+  return std::min(write_target_, nvm_.size());
+}
+
+std::size_t ReferenceModel::position_in_nvm(PageId page) const {
+  const auto it = std::find(nvm_.begin(), nvm_.end(), page);
+  HYMEM_CHECK_MSG(it != nvm_.end(), "page not in the NVM queue");
+  return static_cast<std::size_t>(std::distance(nvm_.begin(), it));
+}
+
+void ReferenceModel::reset_counters_outside_windows() {
+  // The windows are the top read/write fractions of the queue *positions*;
+  // a page at or past a boundary holds no counter (Algorithm 1 lines 8-9).
+  std::size_t pos = 0;
+  for (const PageId page : nvm_) {
+    PageState& st = state_.at(page);
+    if (pos >= read_window_size()) st.read_ctr = 0;
+    if (pos >= write_window_size()) st.write_ctr = 0;
+    ++pos;
+  }
+}
+
+bool ReferenceModel::admit_promotion() {
+  if (config_.max_promotions_per_kacc == 0) return true;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void ReferenceModel::demote_dram_victim(Decision& d) {
+  HYMEM_CHECK_MSG(!dram_.empty(), "demotion from an empty DRAM queue");
+  const PageId victim = dram_.back();
+  if (nvm_.size() >= nvm_capacity_) {
+    // Eviction chain: the NVM LRU victim leaves to disk (dirty pages cost a
+    // disk page-out; clean pages are dropped).
+    const PageId nvm_victim = nvm_.back();
+    d.evicted = nvm_victim;
+    d.evicted_dirty = state_.at(nvm_victim).dirty;
+    if (d.evicted_dirty) ++counts_.dirty_evictions;
+    nvm_.pop_back();
+    state_.erase(nvm_victim);
+  }
+  dram_.pop_back();
+  PageState& st = state_.at(victim);
+  st.tier = Tier::kNvm;
+  st.read_ctr = 0;
+  st.write_ctr = 0;
+  st.open_promotion = false;
+  st.promo_hits = 0;
+  nvm_.push_front(victim);
+  ++counts_.migrations_to_nvm;
+  counts_.nvm_migration_cell_writes += page_factor_;
+  ++demotions_;
+  d.demoted = victim;
+  reset_counters_outside_windows();
+}
+
+void ReferenceModel::promote(PageId page, Decision& d) {
+  if (dram_.size() < dram_capacity_) {
+    nvm_.erase(std::find(nvm_.begin(), nvm_.end(), page));
+  } else {
+    // Swap: the DRAM LRU victim takes the promoted page's place in the NVM
+    // queue head; one migration is charged in each direction.
+    const PageId victim = dram_.back();
+    dram_.pop_back();
+    nvm_.erase(std::find(nvm_.begin(), nvm_.end(), page));
+    PageState& vs = state_.at(victim);
+    vs.tier = Tier::kNvm;
+    vs.read_ctr = 0;
+    vs.write_ctr = 0;
+    vs.open_promotion = false;
+    vs.promo_hits = 0;
+    nvm_.push_front(victim);
+    ++counts_.migrations_to_nvm;
+    counts_.nvm_migration_cell_writes += page_factor_;
+    ++demotions_;
+    d.demoted = victim;
+  }
+  PageState& st = state_.at(page);
+  st.tier = Tier::kDram;
+  st.read_ctr = 0;
+  st.write_ctr = 0;
+  st.open_promotion = true;
+  st.promo_hits = 0;
+  dram_.push_front(page);
+  ++counts_.migrations_to_dram;
+  ++promotions_;
+  reset_counters_outside_windows();
+}
+
+Decision ReferenceModel::on_access(PageId page, AccessType type) {
+  ++counts_.accesses;
+  if (config_.max_promotions_per_kacc > 0) {
+    tokens_ = std::min(
+        static_cast<double>(config_.max_promotions_per_kacc),
+        tokens_ + static_cast<double>(config_.max_promotions_per_kacc) / 1000.0);
+  }
+  Decision d;
+  const auto it = state_.find(page);
+  if (it != state_.end() && it->second.tier == Tier::kDram) {
+    // Algorithm 1 lines 2-3: plain LRU housekeeping in DRAM.
+    d.outcome = Outcome::kDramHit;
+    if (type == AccessType::kRead) {
+      ++counts_.dram_read_hits;
+    } else {
+      ++counts_.dram_write_hits;
+      it->second.dirty = true;
+    }
+    if (it->second.open_promotion) ++it->second.promo_hits;
+    dram_.erase(std::find(dram_.begin(), dram_.end(), page));
+    dram_.push_front(page);
+    return d;
+  }
+  if (it != state_.end()) {
+    // Lines 5-25: served by NVM. Update the windowed counter for the access
+    // type; promote only past the threshold.
+    d.outcome = Outcome::kNvmHit;
+    if (type == AccessType::kRead) {
+      ++counts_.nvm_read_hits;
+    } else {
+      ++counts_.nvm_write_hits;
+      ++counts_.nvm_demand_cell_writes;
+      it->second.dirty = true;
+    }
+    const std::size_t pos = position_in_nvm(page);
+    const bool is_read = type == AccessType::kRead;
+    const std::size_t window =
+        is_read ? read_window_size() : write_window_size();
+    const bool was_in = pos < window;
+    nvm_.erase(std::find(nvm_.begin(), nvm_.end(), page));
+    nvm_.push_front(page);
+    // Lines 10-22: increment inside the window, restart at 1 when
+    // (re-)entering from outside; a zero-width window tracks nothing.
+    const bool now_in =
+        is_read ? read_window_size() > 0 : write_window_size() > 0;
+    std::uint64_t& ctr = is_read ? it->second.read_ctr : it->second.write_ctr;
+    ctr = now_in ? (was_in ? ctr + 1 : 1) : 0;
+    reset_counters_outside_windows();
+    const std::uint64_t threshold =
+        is_read ? config_.read_threshold : config_.write_threshold;
+    if (ctr > threshold) {
+      if (admit_promotion()) {
+        d.outcome = Outcome::kPromotion;
+        promote(page, d);
+      } else {
+        d.throttled = true;
+        ++throttled_;
+      }
+    }
+    return d;
+  }
+  // Lines 27-28: every page fault fills DRAM; demote the DRAM LRU victim
+  // first when DRAM is full.
+  d.outcome = Outcome::kFault;
+  if (dram_.size() >= dram_capacity_) demote_dram_victim(d);
+  ++counts_.page_faults;
+  ++counts_.fills_to_dram;
+  PageState st;
+  st.tier = Tier::kDram;
+  // A write fault's data arrives with the disk fill: the page is born dirty
+  // but no demand memory access is billed.
+  st.dirty = type == AccessType::kWrite;
+  state_.emplace(page, st);
+  dram_.push_front(page);
+  return d;
+}
+
+std::optional<Tier> ReferenceModel::tier_of(PageId page) const {
+  const auto it = state_.find(page);
+  if (it == state_.end()) return std::nullopt;
+  return it->second.tier;
+}
+
+std::vector<PageId> ReferenceModel::dram_mru_to_lru() const {
+  return {dram_.begin(), dram_.end()};
+}
+
+std::vector<PageId> ReferenceModel::nvm_mru_to_lru() const {
+  return {nvm_.begin(), nvm_.end()};
+}
+
+std::uint64_t ReferenceModel::read_counter(PageId page) const {
+  return state_.at(page).read_ctr;
+}
+
+std::uint64_t ReferenceModel::write_counter(PageId page) const {
+  return state_.at(page).write_ctr;
+}
+
+bool ReferenceModel::in_read_window(PageId page) const {
+  return position_in_nvm(page) < read_window_size();
+}
+
+bool ReferenceModel::in_write_window(PageId page) const {
+  return position_in_nvm(page) < write_window_size();
+}
+
+std::optional<std::uint64_t> ReferenceModel::promotion_hits(PageId page) const {
+  const auto it = state_.find(page);
+  if (it == state_.end() || !it->second.open_promotion) return std::nullopt;
+  return it->second.promo_hits;
+}
+
+}  // namespace hymem::check

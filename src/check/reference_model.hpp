@@ -1,0 +1,160 @@
+// Executable specification of the paper's migration scheme (Section IV,
+// Algorithm 1), written for obviousness rather than speed.
+//
+// The optimized stack (core/ + os/) earns its keep with flat maps, slab
+// pools and incremental window boundaries; this model is the yardstick it
+// is measured against. Queues are std::list, per-page state is std::map,
+// and window membership is *recomputed from positions* after every queue
+// mutation — a direct transcription of the paper text with no shared code
+// (and deliberately no shared data structures) with the simulator. The
+// differential harness (check/differential.hpp) replays the same trace
+// through both and diffs every decision.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/migration_config.hpp"
+#include "util/types.hpp"
+
+namespace hymem::check {
+
+/// Observable placement outcome of one access under the scheme.
+enum class Outcome : std::uint8_t {
+  kDramHit = 0,   ///< Served by DRAM; plain LRU housekeeping.
+  kNvmHit,        ///< Served by NVM; counter updated, below threshold.
+  kPromotion,     ///< Served by NVM; counter crossed, page moved to DRAM.
+  kFault,         ///< Page fault; filled into DRAM.
+};
+
+constexpr std::string_view to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kDramHit: return "dram-hit";
+    case Outcome::kNvmHit: return "nvm-hit";
+    case Outcome::kPromotion: return "promotion";
+    default: return "fault";
+  }
+}
+
+/// Everything the scheme decided for one access.
+struct Decision {
+  Outcome outcome = Outcome::kDramHit;
+  /// DRAM LRU victim demoted into the NVM queue head (capacity-forced, by a
+  /// fault or a promotion into a full DRAM); kInvalidPage if none.
+  PageId demoted = kInvalidPage;
+  /// NVM LRU victim evicted to disk to make room for the demotion;
+  /// kInvalidPage if none.
+  PageId evicted = kInvalidPage;
+  /// The eviction cost a disk page-out (victim was dirty).
+  bool evicted_dirty = false;
+  /// A threshold crossing was suppressed by the promotion rate limiter.
+  bool throttled = false;
+};
+
+/// Event counts tracked by the reference model — the same ledger
+/// model::EventCounts snapshots from the VMM, derived completely
+/// independently, plus the per-source NVM physical cell-write breakdown of
+/// the endurance model.
+struct ReferenceCounts {
+  std::uint64_t accesses = 0;
+  std::uint64_t dram_read_hits = 0;
+  std::uint64_t dram_write_hits = 0;
+  std::uint64_t nvm_read_hits = 0;
+  std::uint64_t nvm_write_hits = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t fills_to_dram = 0;
+  std::uint64_t fills_to_nvm = 0;  ///< Always 0: all faults fill DRAM.
+  std::uint64_t migrations_to_dram = 0;
+  std::uint64_t migrations_to_nvm = 0;
+  std::uint64_t dirty_evictions = 0;
+  // NVM physical cell writes per source (endurance accounting): a demand
+  // write is 1, a fill or DRAM->NVM migration is PageFactor.
+  std::uint64_t nvm_demand_cell_writes = 0;
+  std::uint64_t nvm_fill_cell_writes = 0;
+  std::uint64_t nvm_migration_cell_writes = 0;
+
+  std::uint64_t dram_hits() const { return dram_read_hits + dram_write_hits; }
+  std::uint64_t nvm_hits() const { return nvm_read_hits + nvm_write_hits; }
+  std::uint64_t hits() const { return dram_hits() + nvm_hits(); }
+  std::uint64_t nvm_cell_writes() const {
+    return nvm_demand_cell_writes + nvm_fill_cell_writes +
+           nvm_migration_cell_writes;
+  }
+};
+
+/// The naive two-LRU migration scheme: DRAM-fault placement, windowed
+/// read/write counters over the NVM queue, threshold promotions, demotion
+/// chain to disk, and the optional promotion token bucket. Adaptive
+/// thresholds are out of scope (the controller is feedback state, not part
+/// of Algorithm 1).
+class ReferenceModel {
+ public:
+  ReferenceModel(std::size_t dram_frames, std::size_t nvm_frames,
+                 const core::MigrationConfig& config,
+                 std::uint64_t page_factor);
+
+  /// Serves one access per Algorithm 1 and reports what was decided.
+  Decision on_access(PageId page, AccessType type);
+
+  const ReferenceCounts& counts() const { return counts_; }
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t demotions() const { return demotions_; }
+  std::uint64_t throttled_promotions() const { return throttled_; }
+
+  // --- State introspection (differential diffing) --------------------------
+  std::optional<Tier> tier_of(PageId page) const;
+  std::vector<PageId> dram_mru_to_lru() const;
+  std::vector<PageId> nvm_mru_to_lru() const;
+  std::uint64_t read_counter(PageId page) const;
+  std::uint64_t write_counter(PageId page) const;
+  bool in_read_window(PageId page) const;
+  bool in_write_window(PageId page) const;
+  /// Open-promotion hit score; nullopt when `page` is not an open promotion.
+  std::optional<std::uint64_t> promotion_hits(PageId page) const;
+
+  std::size_t read_window_size() const;
+  std::size_t write_window_size() const;
+
+ private:
+  struct PageState {
+    Tier tier = Tier::kDram;
+    bool dirty = false;
+    std::uint64_t read_ctr = 0;
+    std::uint64_t write_ctr = 0;
+    bool open_promotion = false;
+    std::uint64_t promo_hits = 0;
+  };
+
+  std::size_t position_in_nvm(PageId page) const;
+  /// Re-derives window membership from queue positions: every counter
+  /// outside the top read/write fraction is reset (Algorithm 1 lines 8-9).
+  void reset_counters_outside_windows();
+  /// Demotes the DRAM LRU victim into the NVM queue head, evicting the NVM
+  /// LRU victim to disk first when NVM is full. Records into `d`.
+  void demote_dram_victim(Decision& d);
+  /// Moves `page` (NVM-resident) into DRAM, demoting a DRAM victim when
+  /// DRAM is full. Records into `d`.
+  void promote(PageId page, Decision& d);
+  bool admit_promotion();
+
+  std::size_t dram_capacity_;
+  std::size_t nvm_capacity_;
+  core::MigrationConfig config_;
+  std::uint64_t page_factor_;
+  std::size_t read_target_;
+  std::size_t write_target_;
+  std::list<PageId> dram_;  // front = MRU
+  std::list<PageId> nvm_;   // front = MRU
+  std::map<PageId, PageState> state_;
+  ReferenceCounts counts_;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t throttled_ = 0;
+  double tokens_ = 0.0;
+};
+
+}  // namespace hymem::check

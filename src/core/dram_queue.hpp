@@ -52,6 +52,12 @@ class DramLruQueue {
   /// is not an open promotion.
   std::optional<std::uint64_t> promotion_hits(PageId page) const;
 
+  /// MRU-to-LRU traversal (invariant checking, differential diffing).
+  template <typename Fn>
+  void for_each_mru_to_lru(Fn&& fn) const {
+    list_.for_each([&fn](const Node& n) { fn(n.page); });
+  }
+
  private:
   struct Node {
     PageId page = kInvalidPage;

@@ -85,6 +85,12 @@ bool TwoLruMigrationPolicy::admit_promotion() {
 }
 
 Nanoseconds TwoLruMigrationPolicy::on_access(PageId page, AccessType type) {
+  const Nanoseconds latency = serve(page, type);
+  if (audit_hook_) audit_hook_(*this, page, type);
+  return latency;
+}
+
+Nanoseconds TwoLruMigrationPolicy::serve(PageId page, AccessType type) {
   // Refill the promotion token bucket (rate per 1000 accesses).
   ++accesses_seen_;
   if (config_.max_promotions_per_kacc > 0) {

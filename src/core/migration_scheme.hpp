@@ -15,6 +15,7 @@
 //     arrives.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/adaptive_threshold.hpp"
@@ -60,6 +61,14 @@ class TwoLruMigrationPolicy final : public policy::HybridPolicy {
     return controller_.get();
   }
 
+  /// Debug hook, run after every completed on_access (HYMEM_CHECK-style
+  /// validation: src/check installs its invariant checker here). Null by
+  /// default; the hot path pays one branch. The hook must not mutate the
+  /// policy or the VMM.
+  using AuditHook = std::function<void(const TwoLruMigrationPolicy&, PageId,
+                                       AccessType)>;
+  void set_audit_hook(AuditHook hook) { audit_hook_ = std::move(hook); }
+
  private:
   /// Promotes an NVM-resident page into DRAM, demoting the DRAM LRU victim
   /// when DRAM is full. Returns migration latency.
@@ -72,6 +81,9 @@ class TwoLruMigrationPolicy final : public policy::HybridPolicy {
   void evict_from_dram(PageId page);
   /// Token-bucket admission for one promotion (true = allowed).
   bool admit_promotion();
+  /// The actual Algorithm 1 access path (on_access wraps it with the audit
+  /// hook).
+  Nanoseconds serve(PageId page, AccessType type);
 
   MigrationConfig config_;
   DramLruQueue dram_;
@@ -82,6 +94,7 @@ class TwoLruMigrationPolicy final : public policy::HybridPolicy {
   std::uint64_t throttled_ = 0;
   std::uint64_t accesses_seen_ = 0;
   double tokens_ = 0.0;
+  AuditHook audit_hook_;
 };
 
 }  // namespace hymem::core

@@ -11,9 +11,16 @@ namespace {
 
 std::size_t window_target(double perc, std::size_t capacity) {
   HYMEM_CHECK_MSG(perc >= 0.0 && perc <= 1.0, "window fraction out of [0,1]");
-  const auto target = static_cast<std::size_t>(
-      std::ceil(perc * static_cast<double>(capacity)));
-  return std::min(target, capacity);
+  const double product = perc * static_cast<double>(capacity);
+  // Binary round-off can land the product a hair above the intended integer
+  // (0.07 * 100 == 7.000000000000001), which a raw ceil turns into an
+  // off-by-one window. Snap products within one part in 1e9 of an integer
+  // before rounding up.
+  const double nearest = std::round(product);
+  const double snapped =
+      std::abs(product - nearest) <= 1e-9 * std::max(1.0, nearest) ? nearest
+                                                                   : product;
+  return std::min(capacity, static_cast<std::size_t>(std::ceil(snapped)));
 }
 
 }  // namespace

@@ -115,6 +115,49 @@ Nanoseconds Vmm::migrate(PageId page, Tier destination) {
   return latency;
 }
 
+void Vmm::check_consistency() const {
+  // Residency bookkeeping: the page table's per-tier counts must equal the
+  // frames handed out by the allocators, and never exceed capacity.
+  HYMEM_CHECK_MSG(table_.resident_in(Tier::kDram) == dram_alloc_.allocated(),
+                  "DRAM residency disagrees with the frame allocator");
+  HYMEM_CHECK_MSG(table_.resident_in(Tier::kNvm) == nvm_alloc_.allocated(),
+                  "NVM residency disagrees with the frame allocator");
+  HYMEM_CHECK_MSG(table_.resident_in(Tier::kDram) <= config_.dram_frames,
+                  "more DRAM-resident pages than DRAM frames");
+  HYMEM_CHECK_MSG(table_.resident_in(Tier::kNvm) <= config_.nvm_frames,
+                  "more NVM-resident pages than NVM frames");
+  HYMEM_CHECK_MSG(table_.resident_pages() == table_.resident_in(Tier::kDram) +
+                                                 table_.resident_in(Tier::kNvm),
+                  "per-tier residency counts do not sum to the table size");
+  // Every page fault filled exactly one module.
+  const mem::DmaCounters& dma = dma_.counters();
+  HYMEM_CHECK_MSG(
+      dma.disk_fills_to_dram + dma.disk_fills_to_nvm == disk_.page_ins(),
+      "disk page-ins disagree with the DMA fill counters");
+  // NVM physical-write ledger (the paper's endurance accounting): demand
+  // writes contribute one cell-write, fault fills and DRAM->NVM migrations
+  // PageFactor each. The endurance tracker must agree with the independent
+  // device/DMA/disk counters it mirrors.
+  const std::uint64_t pf = dma_.accesses_per_page();
+  HYMEM_CHECK_MSG(
+      endurance_.writes_from(mem::NvmWriteSource::kDemandWrite) ==
+          nvm_.counters().demand_writes,
+      "endurance demand-write ledger disagrees with the NVM device counter");
+  HYMEM_CHECK_MSG(
+      endurance_.writes_from(mem::NvmWriteSource::kPageFault) ==
+          pf * dma.disk_fills_to_nvm,
+      "endurance fault-fill ledger disagrees with the DMA fill counter");
+  HYMEM_CHECK_MSG(
+      endurance_.writes_from(mem::NvmWriteSource::kMigration) ==
+          pf * dma.migrations_dram_to_nvm,
+      "endurance migration ledger disagrees with the DMA migration counter");
+  HYMEM_CHECK_MSG(
+      endurance_.total_writes() ==
+          nvm_.counters().demand_writes +
+              pf * (dma.disk_fills_to_nvm + dma.migrations_dram_to_nvm),
+      "NVM physical writes != demand + PageFactor*(fills + demotions)");
+}
+
 void Vmm::reset_accounting() {
   dram_.reset_counters();
   nvm_.reset_counters();

@@ -103,6 +103,15 @@ class Vmm {
   /// fill side).
   void evict(PageId page);
 
+  /// Structural self-audit (HYMEM_CHECK debug hook): every residency count
+  /// agrees with the frame allocators, no tier exceeds its capacity, and the
+  /// per-source NVM endurance ledger equals what the device/DMA/disk
+  /// counters imply (demand writes 1 cell-write each; fills and DRAM->NVM
+  /// migrations PageFactor each). Throws std::logic_error on violation.
+  /// O(1); safe to call after every access. Invariant checkers (src/check)
+  /// call this alongside their policy-level checks.
+  void check_consistency() const;
+
   /// Zeroes every accounting counter (device accesses, DMA transfers, disk
   /// traffic, NVM wear) without touching residency. Called at the end of a
   /// warmup pass so measurements reflect the steady state — the paper's

@@ -1,0 +1,67 @@
+#include "sim/figure_schemas.hpp"
+
+#include <stdexcept>
+
+namespace hymem::sim {
+
+const std::vector<FigureSchema>& figure_schemas() {
+  static const std::vector<FigureSchema> schemas = {
+      {"fig1",
+       "Fig. 1: DRAM-only APPR shares",
+       {"static", "dynamic", "pagefault"},
+       {"dram-only"}},
+      {"fig2a",
+       "Fig. 2a: CLOCK-DWF APPR / DRAM-only APPR",
+       {"static", "dynamic", "migration"},
+       {"clock-dwf"}},
+      {"fig2b",
+       "Fig. 2b: CLOCK-DWF AMAT / DRAM-only AMAT",
+       {"requests", "migration"},
+       {"clock-dwf"}},
+      {"fig2c",
+       "Fig. 2c: CLOCK-DWF NVM writes / NVM-only writes",
+       {"pagefault", "migration", "demand"},
+       {"clock-dwf"}},
+      {"fig4a",
+       "Fig. 4a: APPR / DRAM-only APPR",
+       {"static", "dynamic", "migration"},
+       {"clock-dwf", "two-lru"}},
+      {"fig4b",
+       "Fig. 4b: NVM writes / NVM-only writes",
+       {"pagefault", "migration", "demand"},
+       {"clock-dwf", "two-lru"}},
+      {"fig4c",
+       "Fig. 4c: proposed AMAT / CLOCK-DWF AMAT",
+       {"requests", "migration"},
+       {"two-lru"}},
+  };
+  return schemas;
+}
+
+const std::vector<TableSchema>& table_schemas() {
+  static const std::vector<TableSchema> schemas = {
+      {"table1",
+       {"workload", "PHitDRAM", "PHitNVM", "PMiss", "PWDRAM", "PWNVM", "PMigD",
+        "PMigN", "PDiskToD"}},
+      {"table3",
+       {"Workload", "Working Set (KB)", "# Reads", "# Writes", "read %",
+        "write %", "write-dominant pages"}},
+  };
+  return schemas;
+}
+
+const FigureSchema& figure_schema(const std::string& id) {
+  for (const FigureSchema& s : figure_schemas()) {
+    if (s.id == id) return s;
+  }
+  throw std::logic_error("unknown figure schema id: " + id);
+}
+
+const TableSchema& table_schema(const std::string& id) {
+  for (const TableSchema& s : table_schemas()) {
+    if (s.id == id) return s;
+  }
+  throw std::logic_error("unknown table schema id: " + id);
+}
+
+}  // namespace hymem::sim

@@ -76,14 +76,18 @@ void FigureTable::print(std::ostream& out) const {
   out << table.to_string();
 }
 
-void FigureTable::print_csv(std::ostream& out) const {
-  CsvWriter csv(out);
+std::vector<std::string> FigureTable::csv_header() const {
   std::vector<std::string> header{"workload"};
   for (const auto& s : series_) {
     for (const auto& c : components_) header.push_back(s + ":" + c);
     header.push_back(s + ":total");
   }
-  csv.write_row(header);
+  return header;
+}
+
+void FigureTable::print_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.write_row(csv_header());
   for (const Row& r : rows_) {
     std::vector<std::string> row{r.workload};
     for (const Stack& s : r.stacks) {

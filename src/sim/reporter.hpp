@@ -38,6 +38,16 @@ class FigureTable {
   /// Machine-readable dump of the same data.
   void print_csv(std::ostream& out) const;
 
+  /// The exact CSV header print_csv emits: "workload", then
+  /// "<series>:<component>"... and "<series>:total" per series. Golden
+  /// tests pin this per figure so downstream CSV consumers never break
+  /// silently.
+  std::vector<std::string> csv_header() const;
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& components() const { return components_; }
+  const std::vector<std::string>& series() const { return series_; }
+
   /// Geometric mean of one series' totals.
   double geomean_total(std::size_t series_index) const;
   /// Arithmetic mean of one series' totals.

@@ -1,0 +1,43 @@
+// Quick randomized smoke for the main CI job (~seconds): a few fuzz seeds
+// beyond the fixed acceptance set in test_differential.cpp, scalable via
+// HYMEM_FUZZ_SEEDS for local soak runs. The nightly job runs the larger
+// sweep in test_fuzz_long.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/differential.hpp"
+
+namespace hymem::check {
+namespace {
+
+std::uint64_t seed_count(std::uint64_t fallback) {
+  const char* env = std::getenv("HYMEM_FUZZ_SEEDS");
+  if (env == nullptr) return fallback;
+  const long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<std::uint64_t>(parsed) : fallback;
+}
+
+TEST(FuzzSmoke, FreshSeedsRunClean) {
+  const std::uint64_t seeds = seed_count(4);
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = 0x9e3779b97f4a7c15ull + i;
+    const FuzzReport report = run_fuzz_case(seed, /*accesses=*/2500);
+    EXPECT_TRUE(report.ok()) << report.summary;
+  }
+}
+
+TEST(FuzzSmoke, FuzzCasesAreDeterministic) {
+  const FuzzCase a = make_fuzz_case(77, 500);
+  const FuzzCase b = make_fuzz_case(77, 500);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.describe(), b.describe());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i], b.trace[i]) << "at access " << i;
+  }
+  const FuzzCase c = make_fuzz_case(78, 500);
+  EXPECT_NE(a.describe(), c.describe());
+}
+
+}  // namespace
+}  // namespace hymem::check

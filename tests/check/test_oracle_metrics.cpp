@@ -1,0 +1,120 @@
+// The oracle recomputes Eqs. 1-3 in the paper's probability form; the
+// production models use the algebraically identical counts form. These tests
+// pin the agreement on a hand-built ledger and prove diff_metrics actually
+// rejects perturbed inputs.
+#include "check/oracle_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/endurance_model.hpp"
+#include "model/events.hpp"
+#include "model/perf_model.hpp"
+#include "model/power_model.hpp"
+
+namespace hymem::check {
+namespace {
+
+constexpr std::uint64_t kPageFactor = 64;
+constexpr double kDurationS = 0.01;
+
+model::EventCounts sample_events() {
+  model::EventCounts e;
+  e.accesses = 100;
+  e.dram_read_hits = 30;
+  e.dram_write_hits = 20;
+  e.nvm_read_hits = 25;
+  e.nvm_write_hits = 10;
+  e.page_faults = 15;
+  e.fills_to_dram = 15;
+  e.fills_to_nvm = 0;
+  e.migrations_to_dram = 4;
+  e.migrations_to_nvm = 6;
+  e.dirty_evictions = 2;
+  e.page_factor = kPageFactor;
+  return e;
+}
+
+ReferenceCounts mirror(const model::EventCounts& e) {
+  ReferenceCounts c;
+  c.accesses = e.accesses;
+  c.dram_read_hits = e.dram_read_hits;
+  c.dram_write_hits = e.dram_write_hits;
+  c.nvm_read_hits = e.nvm_read_hits;
+  c.nvm_write_hits = e.nvm_write_hits;
+  c.page_faults = e.page_faults;
+  c.fills_to_dram = e.fills_to_dram;
+  c.fills_to_nvm = e.fills_to_nvm;
+  c.migrations_to_dram = e.migrations_to_dram;
+  c.migrations_to_nvm = e.migrations_to_nvm;
+  c.dirty_evictions = e.dirty_evictions;
+  c.nvm_demand_cell_writes = e.nvm_write_hits;
+  c.nvm_fill_cell_writes = e.fills_to_nvm * kPageFactor;
+  c.nvm_migration_cell_writes = e.migrations_to_nvm * kPageFactor;
+  return c;
+}
+
+model::ModelParams params() {
+  model::ModelParams p;
+  p.page_factor = kPageFactor;
+  p.dram_bytes = 64ull * 4096;
+  p.nvm_bytes = 192ull * 4096;
+  return p;
+}
+
+TEST(OracleMetrics, ProbabilityFormMatchesCountsForm) {
+  const model::EventCounts e = sample_events();
+  const model::ModelParams p = params();
+  const OracleMetrics m =
+      recompute_metrics(mirror(e), p, kPageFactor, kDurationS);
+  const auto d = diff_metrics(m, model::amat(e, p),
+                              model::appr(e, p, kDurationS),
+                              model::nvm_writes(e));
+  EXPECT_EQ(d, std::nullopt) << *d;
+}
+
+TEST(OracleMetrics, AgreesOnDegenerateAllFaultRun) {
+  model::EventCounts e;
+  e.accesses = 7;
+  e.page_faults = 7;
+  e.fills_to_dram = 7;
+  e.page_factor = kPageFactor;
+  const model::ModelParams p = params();
+  const OracleMetrics m =
+      recompute_metrics(mirror(e), p, kPageFactor, kDurationS);
+  const auto d = diff_metrics(m, model::amat(e, p),
+                              model::appr(e, p, kDurationS),
+                              model::nvm_writes(e));
+  EXPECT_EQ(d, std::nullopt) << *d;
+}
+
+TEST(OracleMetrics, DetectsPerturbedCounts) {
+  const model::EventCounts e = sample_events();
+  const model::ModelParams p = params();
+  ReferenceCounts skewed = mirror(e);
+  ++skewed.nvm_read_hits;  // the oracle now derives different probabilities
+  const OracleMetrics m =
+      recompute_metrics(skewed, p, kPageFactor, kDurationS);
+  const auto d = diff_metrics(m, model::amat(e, p),
+                              model::appr(e, p, kDurationS),
+                              model::nvm_writes(e));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->find("amat_hit_ns"), std::string::npos) << *d;
+}
+
+TEST(OracleMetrics, DetectsEnduranceDrift) {
+  const model::EventCounts e = sample_events();
+  const model::ModelParams p = params();
+  ReferenceCounts skewed = mirror(e);
+  ++skewed.nvm_demand_cell_writes;
+  const OracleMetrics m =
+      recompute_metrics(skewed, p, kPageFactor, kDurationS);
+  // The demand-write count feeds only the endurance comparison.
+  const auto d = diff_metrics(m, model::amat(e, p),
+                              model::appr(e, p, kDurationS),
+                              model::nvm_writes(e));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->find("nvm_demand_writes"), std::string::npos) << *d;
+}
+
+}  // namespace
+}  // namespace hymem::check

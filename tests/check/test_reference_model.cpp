@@ -1,0 +1,170 @@
+// Hand-computed Algorithm 1 scenarios against the reference oracle. These
+// pin the *specification*: if the oracle drifts, the differential harness
+// would dutifully verify the wrong behavior.
+#include "check/reference_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hymem::check {
+namespace {
+
+core::MigrationConfig config(std::uint64_t read_thr, std::uint64_t write_thr,
+                             double read_perc = 1.0, double write_perc = 1.0) {
+  core::MigrationConfig c;
+  c.read_threshold = read_thr;
+  c.write_threshold = write_thr;
+  c.read_perc = read_perc;
+  c.write_perc = write_perc;
+  return c;
+}
+
+constexpr std::uint64_t kPageFactor = 64;
+
+TEST(ReferenceModel, FaultsFillDramInLruOrder) {
+  ReferenceModel m(3, 4, config(1, 2), kPageFactor);
+  for (PageId p : {0u, 1u, 2u}) {
+    const Decision d = m.on_access(p, AccessType::kRead);
+    EXPECT_EQ(d.outcome, Outcome::kFault);
+    EXPECT_EQ(d.demoted, kInvalidPage);
+    EXPECT_EQ(m.tier_of(p), Tier::kDram);
+  }
+  EXPECT_EQ(m.dram_mru_to_lru(), (std::vector<PageId>{2, 1, 0}));
+  EXPECT_TRUE(m.nvm_mru_to_lru().empty());
+  EXPECT_EQ(m.counts().page_faults, 3u);
+  EXPECT_EQ(m.counts().fills_to_dram, 3u);
+  EXPECT_EQ(m.counts().fills_to_nvm, 0u);
+}
+
+TEST(ReferenceModel, FullDramFaultDemotesLruVictimToNvmHead) {
+  ReferenceModel m(2, 4, config(1, 2), kPageFactor);
+  m.on_access(0, AccessType::kRead);
+  m.on_access(1, AccessType::kRead);
+  const Decision d = m.on_access(2, AccessType::kRead);
+  EXPECT_EQ(d.outcome, Outcome::kFault);
+  EXPECT_EQ(d.demoted, 0u);  // LRU victim
+  EXPECT_EQ(d.evicted, kInvalidPage);
+  EXPECT_EQ(m.tier_of(0), Tier::kNvm);
+  EXPECT_EQ(m.nvm_mru_to_lru(), (std::vector<PageId>{0}));
+  EXPECT_EQ(m.counts().migrations_to_nvm, 1u);
+  EXPECT_EQ(m.counts().nvm_migration_cell_writes, kPageFactor);
+}
+
+TEST(ReferenceModel, ReadCounterCrossingThresholdPromotes) {
+  // read_threshold = 2: promotion on the hit that makes the counter 3.
+  ReferenceModel m(1, 4, config(2, 9), kPageFactor);
+  m.on_access(0, AccessType::kRead);  // fills DRAM
+  m.on_access(1, AccessType::kRead);  // demotes 0 to NVM
+  EXPECT_EQ(m.tier_of(0), Tier::kNvm);
+  EXPECT_EQ(m.on_access(0, AccessType::kRead).outcome, Outcome::kNvmHit);
+  EXPECT_EQ(m.read_counter(0), 1u);
+  EXPECT_EQ(m.on_access(0, AccessType::kRead).outcome, Outcome::kNvmHit);
+  EXPECT_EQ(m.read_counter(0), 2u);
+  const Decision d = m.on_access(0, AccessType::kRead);  // counter 3 > 2
+  EXPECT_EQ(d.outcome, Outcome::kPromotion);
+  EXPECT_EQ(d.demoted, 1u);  // swap: DRAM victim takes its place
+  EXPECT_EQ(m.tier_of(0), Tier::kDram);
+  EXPECT_EQ(m.tier_of(1), Tier::kNvm);
+  EXPECT_EQ(m.counts().migrations_to_dram, 1u);
+  EXPECT_EQ(m.counts().migrations_to_nvm, 2u);
+  EXPECT_EQ(m.promotion_hits(0), 0u);  // open promotion, no DRAM hits yet
+}
+
+TEST(ReferenceModel, CounterResetsWhenPageFallsPastWindowBoundary) {
+  // NVM capacity 4, read_perc 0.5 -> read window = top 2 positions.
+  ReferenceModel m(1, 4, config(9, 9, 0.5, 0.5), kPageFactor);
+  // Fill: 5 faults leave pages 0..3 cycling through; build NVM = {3,2,1,0}.
+  for (PageId p : {0u, 1u, 2u, 3u, 4u}) m.on_access(p, AccessType::kRead);
+  // NVM MRU->LRU is {3,2,1,0}: window = {3,2}.
+  ASSERT_EQ(m.nvm_mru_to_lru(), (std::vector<PageId>{3, 2, 1, 0}));
+  m.on_access(3, AccessType::kRead);  // in window: ctr 1, order unchanged
+  EXPECT_EQ(m.read_counter(3), 1u);
+  m.on_access(1, AccessType::kRead);  // outside: restarts at 1, moves to MRU
+  EXPECT_EQ(m.read_counter(1), 1u);
+  // {1,3,2,0}: page 2 fell out of the window, its counter must be gone.
+  ASSERT_EQ(m.nvm_mru_to_lru(), (std::vector<PageId>{1, 3, 2, 0}));
+  EXPECT_FALSE(m.in_read_window(2));
+  EXPECT_EQ(m.read_counter(2), 0u);
+  EXPECT_EQ(m.read_counter(3), 1u);  // still inside, kept
+}
+
+TEST(ReferenceModel, ZeroWidthWindowNeverCounts) {
+  ReferenceModel m(1, 4, config(0, 0, 0.0, 0.0), kPageFactor);
+  m.on_access(0, AccessType::kRead);
+  m.on_access(1, AccessType::kRead);
+  for (int i = 0; i < 10; ++i) {
+    const Decision d = m.on_access(0, AccessType::kRead);
+    EXPECT_EQ(d.outcome, Outcome::kNvmHit);  // threshold 0 but ctr stays 0
+  }
+  EXPECT_EQ(m.read_counter(0), 0u);
+  EXPECT_EQ(m.promotions(), 0u);
+}
+
+TEST(ReferenceModel, WriteFaultBornDirtyCostsDirtyEviction) {
+  // dram=1, nvm=1: the third fault evicts the write-faulted page 0.
+  ReferenceModel m(1, 1, config(9, 9), kPageFactor);
+  m.on_access(0, AccessType::kWrite);  // born dirty, no demand write billed
+  EXPECT_EQ(m.counts().dram_write_hits, 0u);
+  EXPECT_EQ(m.counts().nvm_demand_cell_writes, 0u);
+  m.on_access(1, AccessType::kRead);  // 0 demoted to NVM
+  const Decision d = m.on_access(2, AccessType::kRead);  // 0 evicted to disk
+  EXPECT_EQ(d.evicted, 0u);
+  EXPECT_TRUE(d.evicted_dirty);
+  EXPECT_EQ(m.counts().dirty_evictions, 1u);
+  EXPECT_EQ(m.tier_of(0), std::nullopt);
+}
+
+TEST(ReferenceModel, NvmWriteHitCountsOneDemandCellWrite) {
+  ReferenceModel m(1, 2, config(9, 9), kPageFactor);
+  m.on_access(0, AccessType::kRead);
+  m.on_access(1, AccessType::kRead);
+  m.on_access(0, AccessType::kWrite);  // NVM hit
+  EXPECT_EQ(m.counts().nvm_write_hits, 1u);
+  EXPECT_EQ(m.counts().nvm_demand_cell_writes, 1u);
+}
+
+TEST(ReferenceModel, TokenBucketThrottlesPromotions) {
+  // 1 promotion per kacc: tokens accrue at 0.001/access from 0, so the
+  // first threshold crossings are suppressed and counted as throttled.
+  core::MigrationConfig cfg = config(0, 0);
+  cfg.max_promotions_per_kacc = 1;
+  ReferenceModel m(1, 2, cfg, kPageFactor);
+  m.on_access(0, AccessType::kRead);
+  m.on_access(1, AccessType::kRead);
+  const Decision d = m.on_access(0, AccessType::kRead);  // ctr 1 > 0, no token
+  EXPECT_EQ(d.outcome, Outcome::kNvmHit);
+  EXPECT_TRUE(d.throttled);
+  EXPECT_EQ(m.throttled_promotions(), 1u);
+  EXPECT_EQ(m.promotions(), 0u);
+}
+
+TEST(ReferenceModel, LedgerIdentitiesHold) {
+  ReferenceModel m(2, 3, config(1, 2, 0.5, 1.0), kPageFactor);
+  // A busy little mixed run.
+  const PageId pages[] = {0, 1, 2, 3, 0, 1, 4, 0, 2, 5, 0, 1, 2, 3, 4, 5, 0};
+  std::uint64_t accesses = 0;
+  for (PageId p : pages) {
+    m.on_access(p, accesses % 3 == 0 ? AccessType::kWrite : AccessType::kRead);
+    ++accesses;
+  }
+  const ReferenceCounts& c = m.counts();
+  EXPECT_EQ(c.accesses, accesses);
+  EXPECT_EQ(c.hits() + c.page_faults, c.accesses);
+  EXPECT_EQ(c.fills_to_dram + c.fills_to_nvm, c.page_faults);
+  EXPECT_EQ(c.fills_to_nvm, 0u);  // all faults fill DRAM
+  EXPECT_EQ(c.nvm_demand_cell_writes, c.nvm_write_hits);
+  EXPECT_EQ(c.nvm_fill_cell_writes, kPageFactor * c.fills_to_nvm);
+  EXPECT_EQ(c.nvm_migration_cell_writes, kPageFactor * c.migrations_to_nvm);
+  EXPECT_EQ(m.counts().migrations_to_dram, m.promotions());
+  EXPECT_EQ(m.counts().migrations_to_nvm, m.demotions());
+}
+
+TEST(ReferenceModel, RejectsAdaptiveConfig) {
+  core::MigrationConfig cfg = config(1, 2);
+  cfg.adaptive = true;
+  EXPECT_THROW(ReferenceModel(2, 2, cfg, kPageFactor), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::check

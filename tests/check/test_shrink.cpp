@@ -1,0 +1,112 @@
+#include "check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/access.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace hymem::check {
+namespace {
+
+trace::Trace noisy_trace(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  trace::Trace t("noise");
+  for (std::size_t i = 0; i < n; ++i) {
+    t.append(rng.next_below(50) * kDefaultPageSize,
+             rng.next_bool(0.4) ? AccessType::kWrite : AccessType::kRead);
+  }
+  return t;
+}
+
+std::uint64_t writes_to(const trace::Trace& t, PageId page) {
+  std::uint64_t n = 0;
+  for (const trace::MemAccess& a : t) {
+    if (a.type == AccessType::kWrite &&
+        trace::page_of(a.addr, kDefaultPageSize) == page) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(ShrinkTrace, ReducesToTheMinimalFailingCore) {
+  // "Fails" iff the trace holds >= 3 writes to page 7. The minimum is
+  // exactly those three writes, renumbered onto page 0.
+  trace::Trace t = noisy_trace(1, 400);
+  t.append(7 * kDefaultPageSize, AccessType::kWrite);
+  t.append(7 * kDefaultPageSize, AccessType::kWrite);
+  t.append(7 * kDefaultPageSize, AccessType::kWrite);
+  const auto fails = [](const trace::Trace& c) { return writes_to(c, 7) >= 3; };
+  // After renumbering, page 7 becomes page 0, so the predicate must look at
+  // whichever page carries the writes; use an id-agnostic version.
+  const auto fails_any = [](const trace::Trace& c) {
+    for (const trace::MemAccess& a : c) {
+      if (writes_to(c, trace::page_of(a.addr, kDefaultPageSize)) >= 3 &&
+          a.type == AccessType::kWrite) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(fails(t));
+  const trace::Trace minimal = shrink_trace(t, fails_any);
+  EXPECT_EQ(minimal.size(), 3u);
+  EXPECT_TRUE(fails_any(minimal));
+  for (const trace::MemAccess& a : minimal) {
+    EXPECT_EQ(trace::page_of(a.addr, kDefaultPageSize), 0u);
+    EXPECT_EQ(a.type, AccessType::kWrite);
+  }
+}
+
+TEST(ShrinkTrace, PreservesRequiredOrdering) {
+  // Fails iff a read of page 3 happens strictly before a write of page 9.
+  const auto fails = [](const trace::Trace& c) {
+    bool seen_read = false;
+    for (const trace::MemAccess& a : c) {
+      // Renumber-agnostic: any read, then any later write.
+      if (a.type == AccessType::kRead) seen_read = true;
+      if (seen_read && a.type == AccessType::kWrite) return true;
+    }
+    return false;
+  };
+  trace::Trace t("order");
+  t.append(1 * kDefaultPageSize, AccessType::kWrite);  // removable
+  t.append(3 * kDefaultPageSize, AccessType::kRead);
+  t.append(5 * kDefaultPageSize, AccessType::kRead);  // removable
+  t.append(9 * kDefaultPageSize, AccessType::kWrite);
+  ASSERT_TRUE(fails(t));
+  const trace::Trace minimal = shrink_trace(t, fails);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0].type, AccessType::kRead);
+  EXPECT_EQ(minimal[1].type, AccessType::kWrite);
+  EXPECT_EQ(trace::page_of(minimal[0].addr, kDefaultPageSize), 0u);
+}
+
+TEST(ShrinkTrace, RespectsThePredicateCallBudget) {
+  trace::Trace t = noisy_trace(2, 300);
+  std::size_t calls = 0;
+  const auto fails = [&calls](const trace::Trace& c) {
+    ++calls;
+    return !c.empty();  // everything non-empty "fails"
+  };
+  const trace::Trace minimal =
+      shrink_trace(t, fails, /*max_predicate_calls=*/25);
+  EXPECT_LE(calls, 26u);  // budget + at most one canonicalization probe
+  EXPECT_FALSE(minimal.empty());
+  EXPECT_LE(minimal.size(), t.size());
+}
+
+TEST(ShrinkTrace, SingleAccessStaysSingleAccess) {
+  trace::Trace t("one");
+  t.append(41 * kDefaultPageSize, AccessType::kWrite);
+  const auto fails = [](const trace::Trace& c) { return c.size() >= 1; };
+  const trace::Trace minimal = shrink_trace(t, fails);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(trace::page_of(minimal[0].addr, kDefaultPageSize), 0u);
+}
+
+}  // namespace
+}  // namespace hymem::check

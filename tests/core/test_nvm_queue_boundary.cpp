@@ -1,0 +1,115 @@
+// Dedicated window-boundary tests for CountedLruQueue: the rounding of
+// fractional perc * capacity (including the binary round-off snap), and the
+// counter bookkeeping of pages sitting exactly on a boundary.
+#include <gtest/gtest.h>
+
+#include "core/nvm_queue.hpp"
+
+namespace hymem::core {
+namespace {
+
+TEST(NvmQueueBoundary, FractionalTargetsRoundUp) {
+  // ceil(0.25 * 10) = 3, ceil(0.33... * 3) = 1, ceil(0.1 * 25) = 3.
+  EXPECT_EQ(CountedLruQueue(10, 0.25, 0.25).read_window_target(), 3u);
+  EXPECT_EQ(CountedLruQueue(3, 1.0 / 3.0, 1.0).read_window_target(), 1u);
+  EXPECT_EQ(CountedLruQueue(25, 0.1, 0.1).read_window_target(), 3u);
+}
+
+TEST(NvmQueueBoundary, BinaryRoundOffDoesNotOvershootExactProducts) {
+  // Each of these products lands a round-off hair above the intended
+  // integer (0.07 * 100 == 7.000000000000001); a raw ceil gave one extra
+  // window position.
+  EXPECT_EQ(CountedLruQueue(100, 0.07, 0.55).read_window_target(), 7u);
+  EXPECT_EQ(CountedLruQueue(100, 0.07, 0.55).write_window_target(), 55u);
+  EXPECT_EQ(CountedLruQueue(50, 0.14, 0.28).read_window_target(), 7u);
+  EXPECT_EQ(CountedLruQueue(50, 0.14, 0.28).write_window_target(), 14u);
+  EXPECT_EQ(CountedLruQueue(200, 0.56, 1.0).read_window_target(), 112u);
+}
+
+TEST(NvmQueueBoundary, ExactAndDegenerateTargets) {
+  EXPECT_EQ(CountedLruQueue(8, 0.5, 0.5).read_window_target(), 4u);
+  EXPECT_EQ(CountedLruQueue(8, 0.0, 0.0).read_window_target(), 0u);
+  EXPECT_EQ(CountedLruQueue(8, 1.0, 1.0).read_window_target(), 8u);
+  // Any positive fraction of a one-slot queue is that one slot.
+  EXPECT_EQ(CountedLruQueue(1, 0.01, 1.0).read_window_target(), 1u);
+  EXPECT_EQ(CountedLruQueue(1, 0.0, 1.0).read_window_target(), 0u);
+}
+
+TEST(NvmQueueBoundary, PageExactlyAtTheBoundaryHoldsItsCounter) {
+  // Capacity 4, read window = 2: positions 0 and 1 count, 2 and 3 do not.
+  CountedLruQueue q(4, 0.5, 1.0);
+  for (PageId p = 0; p < 4; ++p) q.insert_front(p);
+  // MRU->LRU: 3 2 | 1 0. Page 2 is the last node inside the window.
+  EXPECT_TRUE(q.in_read_window(2));
+  EXPECT_FALSE(q.in_read_window(1));
+  q.record_hit(2, AccessType::kRead);  // boundary node moves to front
+  EXPECT_EQ(q.read_counter(2), 1u);
+  // Order 2 3 | 1 0: page 3 is the new boundary, membership unchanged.
+  EXPECT_TRUE(q.in_read_window(3));
+  EXPECT_FALSE(q.in_read_window(1));
+  q.check_invariants();
+}
+
+TEST(NvmQueueBoundary, HitFromOnePastTheBoundaryEvictsTheBoundaryCounter) {
+  CountedLruQueue q(4, 0.5, 1.0);
+  for (PageId p = 0; p < 4; ++p) q.insert_front(p);
+  // 3 2 | 1 0: give both window pages live counters.
+  q.record_hit(3, AccessType::kRead);
+  q.record_hit(2, AccessType::kRead);
+  // Order 2 3 | 1 0. A hit on page 1 (first position outside) enters the
+  // window at the front; page 3 falls past the boundary and must lose its
+  // counter.
+  EXPECT_EQ(q.record_hit(1, AccessType::kRead), 1u);  // restarted, not ++
+  EXPECT_TRUE(q.in_read_window(1));
+  EXPECT_TRUE(q.in_read_window(2));
+  EXPECT_FALSE(q.in_read_window(3));
+  EXPECT_EQ(q.read_counter(3), 0u);
+  EXPECT_EQ(q.read_counter(2), 1u);  // survived: still inside
+  q.check_invariants();
+}
+
+TEST(NvmQueueBoundary, ErasingTheBoundaryNodeRefillsFromBelow) {
+  CountedLruQueue q(4, 0.5, 1.0);
+  for (PageId p = 0; p < 4; ++p) q.insert_front(p);
+  // 3 2 | 1 0: erase boundary page 2; page 1 must be pulled into the window
+  // with a fresh counter.
+  q.record_hit(1, AccessType::kWrite);  // write ctr only; read ctr stays 0
+  q.erase(2);
+  EXPECT_TRUE(q.in_read_window(3));
+  EXPECT_TRUE(q.in_read_window(1));
+  EXPECT_FALSE(q.in_read_window(0));
+  EXPECT_EQ(q.read_counter(1), 0u);
+  q.check_invariants();
+}
+
+TEST(NvmQueueBoundary, IndependentReadAndWriteBoundaries) {
+  // read window 1, write window 3 over capacity 4.
+  CountedLruQueue q(4, 0.25, 0.75);
+  for (PageId p = 0; p < 4; ++p) q.insert_front(p);
+  // 3 | 2 1 : 0   (read boundary after 3, write boundary after 1)
+  EXPECT_TRUE(q.in_read_window(3));
+  EXPECT_FALSE(q.in_read_window(2));
+  EXPECT_TRUE(q.in_write_window(1));
+  EXPECT_FALSE(q.in_write_window(0));
+  // A write hit on page 0 (outside both) restarts its write counter at 1,
+  // drops page 1 from the write window, drops 3 from the read window.
+  EXPECT_EQ(q.record_hit(0, AccessType::kWrite), 1u);
+  EXPECT_TRUE(q.in_read_window(0));
+  EXPECT_FALSE(q.in_read_window(3));
+  EXPECT_EQ(q.read_counter(3), 0u);
+  EXPECT_FALSE(q.in_write_window(1));
+  EXPECT_EQ(q.write_counter(1), 0u);
+  q.check_invariants();
+}
+
+TEST(NvmQueueBoundary, CapacityOneQueueCountsInItsOnlySlot) {
+  CountedLruQueue q(1, 0.5, 0.5);
+  q.insert_front(9);
+  EXPECT_TRUE(q.in_read_window(9));
+  EXPECT_EQ(q.record_hit(9, AccessType::kRead), 1u);
+  EXPECT_EQ(q.record_hit(9, AccessType::kRead), 2u);
+  q.check_invariants();
+}
+
+}  // namespace
+}  // namespace hymem::core

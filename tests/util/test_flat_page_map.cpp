@@ -180,5 +180,94 @@ TEST(FlatPageMap, MatchesUnorderedMapSparseKeys) {
   }
 }
 
+/// Keys whose home slot (for a table of `capacity`) is exactly `slot`.
+std::vector<PageId> keys_homing_at(std::size_t slot, std::size_t capacity,
+                                   std::size_t how_many) {
+  std::vector<PageId> keys;
+  for (PageId k = 0; keys.size() < how_many; ++k) {
+    if ((hash_page_id(k) & (capacity - 1)) == slot) keys.push_back(k);
+  }
+  return keys;
+}
+
+// Backward-shift erase across the table seam: build a probe cluster that
+// starts in the last slots and wraps to slot 0, then erase entries at every
+// position in it. The wrap-aware displacement test must keep every survivor
+// reachable.
+TEST(FlatPageMap, EraseCompactsWrappedClusters) {
+  constexpr std::size_t kCap = 16;  // kMinCapacity: never rehashes below 9
+  // Five keys all homing at the last slot: they occupy slots 15,0,1,2,3.
+  const std::vector<PageId> cluster = keys_homing_at(kCap - 1, kCap, 5);
+  for (std::size_t victim = 0; victim < cluster.size(); ++victim) {
+    FlatPageMap<std::uint64_t> map;
+    for (const PageId k : cluster) *map.try_emplace(k).first = k * 10;
+    ASSERT_TRUE(map.erase(cluster[victim]));
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (i == victim) {
+        EXPECT_FALSE(map.contains(cluster[i]));
+      } else {
+        const std::uint64_t* found = map.find(cluster[i]);
+        ASSERT_NE(found, nullptr) << "lost key " << cluster[i]
+                                  << " after erasing " << cluster[victim];
+        EXPECT_EQ(*found, cluster[i] * 10);
+      }
+    }
+  }
+}
+
+// A wrapped cluster whose members home on *different* sides of the seam:
+// the displaced suffix must only move entries whose home precedes the hole
+// in wrap order, never an entry already at home.
+TEST(FlatPageMap, EraseAcrossSeamKeepsHomeSlotEntriesPut) {
+  constexpr std::size_t kCap = 16;
+  const PageId at_last = keys_homing_at(kCap - 1, kCap, 2)[0];
+  const PageId also_last = keys_homing_at(kCap - 1, kCap, 2)[1];
+  const PageId at_zero = keys_homing_at(0, kCap, 1)[0];
+  FlatPageMap<std::uint64_t> map;
+  // Occupancy: slot 15 <- at_last, slot 0 <- also_last (displaced across the
+  // seam), slot 1 <- at_zero (displaced by the intruder in its home).
+  *map.try_emplace(at_last).first = 1;
+  *map.try_emplace(also_last).first = 2;
+  *map.try_emplace(at_zero).first = 3;
+  // Erasing the seam-straddling entry must pull at_zero back toward its
+  // home, not lose it.
+  ASSERT_TRUE(map.erase(also_last));
+  ASSERT_NE(map.find(at_last), nullptr);
+  ASSERT_NE(map.find(at_zero), nullptr);
+  EXPECT_EQ(*map.find(at_last), 1u);
+  EXPECT_EQ(*map.find(at_zero), 3u);
+}
+
+// The table rehashes when an insert would push the load factor past 1/2.
+// Hover around exactly that boundary with churn: entries must never be lost
+// or duplicated on either side of the growth.
+TEST(FlatPageMap, ChurnAtExactlyHalfLoadFactor) {
+  FlatPageMap<std::uint64_t> map;
+  map.reserve(8);  // capacity 16; 8 entries fit, the 9th insert rehashes
+  for (PageId k = 0; k < 8; ++k) *map.try_emplace(k).first = k;
+  ASSERT_EQ(map.size(), 8u);
+  // Replace one entry at the boundary several times: erase + reinsert keeps
+  // size at capacity/2, never triggering growth, never losing entries.
+  for (int round = 0; round < 32; ++round) {
+    const PageId out = static_cast<PageId>(round % 8);
+    ASSERT_TRUE(map.erase(out));
+    *map.try_emplace(out).first = out;
+    ASSERT_EQ(map.size(), 8u);
+    for (PageId k = 0; k < 8; ++k) {
+      ASSERT_NE(map.find(k), nullptr);
+      ASSERT_EQ(*map.find(k), k);
+    }
+  }
+  // The insert crossing the boundary (9 > 16/2) grows the table and must
+  // carry every entry across the rehash.
+  *map.try_emplace(100).first = 100;
+  ASSERT_EQ(map.size(), 9u);
+  for (PageId k = 0; k < 8; ++k) {
+    ASSERT_NE(map.find(k), nullptr);
+    EXPECT_EQ(*map.find(k), k);
+  }
+  EXPECT_EQ(*map.find(100), 100u);
+}
+
 }  // namespace
 }  // namespace hymem::util

@@ -78,5 +78,75 @@ TEST(SlabPool, AllocateForwardsConstructorArgs) {
   EXPECT_EQ(p->y, 4);
 }
 
+// Freed slots must be recycled (LIFO) before the pool carves fresh slots or
+// grows a new block.
+TEST(SlabPool, ReusesFreedSlotsBeforeGrowing) {
+  SlabPool<Node> pool(8);
+  std::vector<Node*> nodes;
+  for (int i = 0; i < 8; ++i) nodes.push_back(pool.allocate());
+  const std::size_t cap_before = pool.capacity();
+  Node* const a = nodes[2];
+  Node* const b = nodes[5];
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.live(), 6u);
+  // LIFO: the most recently freed slot comes back first.
+  EXPECT_EQ(pool.allocate(), b);
+  EXPECT_EQ(pool.allocate(), a);
+  EXPECT_EQ(pool.capacity(), cap_before);  // no growth needed
+  EXPECT_EQ(pool.live(), 8u);
+}
+
+// Interleaved free/alloc cycles: every handed-out address is distinct among
+// live nodes, recycled addresses stay inside previously-seen storage, and
+// the pool never grows while the free list can satisfy demand.
+TEST(SlabPool, InterleavedFreeAllocRecyclesExactly) {
+  SlabPool<Node> pool(16);
+  std::vector<Node*> live;
+  std::set<Node*> ever_seen;
+  for (int i = 0; i < 16; ++i) {
+    live.push_back(pool.allocate(static_cast<std::uint64_t>(i), 0ull));
+    ever_seen.insert(live.back());
+  }
+  const std::size_t cap = pool.capacity();
+  for (int round = 0; round < 200; ++round) {
+    // Free a varying prefix, then reallocate the same amount.
+    const std::size_t n = 1 + static_cast<std::size_t>(round % 7);
+    std::vector<Node*> freed;
+    for (std::size_t i = 0; i < n; ++i) {
+      freed.push_back(live.back());
+      pool.release(live.back());
+      live.pop_back();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Node* node = pool.allocate(static_cast<std::uint64_t>(round), i);
+      // Recycled, not fresh storage.
+      EXPECT_TRUE(ever_seen.contains(node));
+      live.push_back(node);
+    }
+    EXPECT_EQ(pool.capacity(), cap);
+    EXPECT_EQ(pool.live(), 16u);
+    const std::set<Node*> distinct(live.begin(), live.end());
+    ASSERT_EQ(distinct.size(), live.size());
+  }
+}
+
+// Releasing everything and refilling reuses the original block entirely.
+TEST(SlabPool, DrainAndRefillStaysInPlace) {
+  SlabPool<Node> pool(32);
+  std::vector<Node*> nodes;
+  for (int i = 0; i < 32; ++i) nodes.push_back(pool.allocate());
+  const std::size_t cap = pool.capacity();
+  std::set<Node*> first_gen(nodes.begin(), nodes.end());
+  for (Node* n : nodes) pool.release(n);
+  EXPECT_EQ(pool.live(), 0u);
+  for (int i = 0; i < 32; ++i) {
+    Node* n = pool.allocate();
+    EXPECT_TRUE(first_gen.contains(n));
+  }
+  EXPECT_EQ(pool.capacity(), cap);
+  EXPECT_EQ(pool.live(), 32u);
+}
+
 }  // namespace
 }  // namespace hymem::util
