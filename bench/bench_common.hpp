@@ -9,9 +9,17 @@
 //               hardware concurrency). 1 = serial reference path. Results
 //               are byte-identical for every N.
 //   --csv       additionally dump the table as CSV to stdout.
+//   --timeline PATH
+//               sample an epoch time-series during every measured run and
+//               write the spliced per-job timeline CSV to PATH (grid-shaped
+//               harnesses; see src/obs/). Off by default: the replay loop
+//               stays uninstrumented.
+//   --epoch N   timeline epoch length in accesses (default 1024; only
+//               meaningful with --timeline).
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,6 +38,8 @@ struct BenchContext {
   std::uint64_t seed = 42;
   bool csv = false;
   unsigned jobs = 1;  ///< Sweep worker threads.
+  std::string timeline;  ///< --timeline PATH; empty = sampling off.
+  std::uint64_t timeline_epoch = 1024;  ///< --epoch N.
 };
 
 inline BenchContext parse_args(int argc, char** argv,
@@ -41,7 +51,35 @@ inline BenchContext parse_args(int argc, char** argv,
   ctx.csv = args.get_bool("csv", false);
   ctx.jobs = static_cast<unsigned>(
       args.get_uint("jobs", runner::ThreadPool::default_threads()));
+  ctx.timeline = args.get("timeline");
+  ctx.timeline_epoch = args.get_uint("epoch", 1024);
   return ctx;
+}
+
+/// Turns on epoch sampling in every grid cell when the harness was run with
+/// --timeline. Materializes the implicit default variant so the override
+/// has a config to land on.
+inline void apply_timeline(runner::SweepSpec& spec, const BenchContext& ctx) {
+  if (ctx.timeline.empty()) return;
+  if (spec.variants.empty()) spec.variants.emplace_back();
+  for (auto& variant : spec.variants) {
+    variant.config.timeline_epoch = ctx.timeline_epoch;
+  }
+}
+
+/// Writes the sweep's spliced timeline CSV to ctx.timeline (no-op when the
+/// flag was absent). Row count goes to stderr, keeping stdout deterministic.
+inline void maybe_write_timeline(const runner::SweepResults& sweep,
+                                 const BenchContext& ctx) {
+  if (ctx.timeline.empty()) return;
+  std::ofstream out(ctx.timeline, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot open --timeline path: " << ctx.timeline << "\n";
+    return;
+  }
+  const std::size_t rows = sweep.write_timeline_csv(out);
+  std::cerr << "timeline: " << rows << " epoch rows (epoch "
+            << ctx.timeline_epoch << ") -> " << ctx.timeline << "\n";
 }
 
 inline void print_header(const std::string& title, const BenchContext& ctx) {
@@ -77,11 +115,13 @@ inline runner::SweepResults run_grid(
   spec.scale = ctx.scale;
   spec.base_seed = ctx.seed;
   spec.seed_mode = seed_mode;
+  apply_timeline(spec, ctx);
   runner::SweepOptions options;
   options.jobs = ctx.jobs;
   options.progress = runner::stderr_progress();
   auto sweep = runner::run_sweep(spec, options);
   sweep.write_failures(std::cerr);
+  maybe_write_timeline(sweep, ctx);
   return sweep;
 }
 

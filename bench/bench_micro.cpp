@@ -4,7 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include "cachesim/hierarchy.hpp"
+#include "core/migration_scheme.hpp"
 #include "core/nvm_queue.hpp"
+#include "obs/epoch.hpp"
 #include "os/vmm.hpp"
 #include "policy/factory.hpp"
 #include "sim/experiment.hpp"
@@ -117,7 +119,12 @@ void BM_EndToEndSimulation(benchmark::State& state,
 // the number every figure and sweep cell is built from. The dedup/4 profile
 // gives a ~32k-page footprint, so the page table and policy indexes see
 // realistic cache pressure instead of fitting in L1.
-void BM_RunTrace(benchmark::State& state, const std::string& policy) {
+//
+// `timeline_epoch` nonzero attaches an obs::EpochSampler with that epoch
+// length, so the `_timeline` captures measure the instrumentation-on cost
+// against their plain counterparts.
+void BM_RunTrace(benchmark::State& state, const std::string& policy,
+                 std::uint64_t timeline_epoch = 0) {
   const auto profile = synth::parsec_profile("dedup").scaled(4);
   synth::GeneratorOptions options;
   options.seed = 42;
@@ -142,9 +149,21 @@ void BM_RunTrace(benchmark::State& state, const std::string& policy) {
   for (auto _ : state) {
     os::Vmm vmm(vmm_config);
     const auto impl = sim::make_policy(policy, vmm, config.migration);
-    const auto result =
-        sim::run_trace(*impl, trace, profile.roi_seconds, /*warmup_passes=*/1);
-    benchmark::DoNotOptimize(result.accesses);
+    if (timeline_epoch == 0) {
+      const auto result = sim::run_trace(*impl, trace, profile.roi_seconds,
+                                         /*warmup_passes=*/1);
+      benchmark::DoNotOptimize(result.accesses);
+    } else {
+      const auto* scheme =
+          dynamic_cast<const core::TwoLruMigrationPolicy*>(impl.get());
+      obs::EpochSampler sampler(timeline_epoch, vmm, scheme,
+                                profile.roi_seconds);
+      const auto result = sim::run_trace(*impl, trace, profile.roi_seconds,
+                                         /*warmup_passes=*/1, &sampler);
+      benchmark::DoNotOptimize(result.accesses);
+      const obs::Timeline timeline = sampler.take_timeline();
+      benchmark::DoNotOptimize(timeline.epochs.size());
+    }
     replayed += 2 * trace.size();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(replayed));
@@ -163,6 +182,8 @@ BENCHMARK_CAPTURE(BM_RunTrace, two_lru, "two-lru");
 BENCHMARK_CAPTURE(BM_RunTrace, two_lru_adaptive, "two-lru-adaptive");
 BENCHMARK_CAPTURE(BM_RunTrace, clock_dwf, "clock-dwf");
 BENCHMARK_CAPTURE(BM_RunTrace, dram_only, "dram-only");
+BENCHMARK_CAPTURE(BM_RunTrace, two_lru_timeline, "two-lru", 1024u);
+BENCHMARK_CAPTURE(BM_RunTrace, clock_dwf_timeline, "clock-dwf", 1024u);
 
 }  // namespace
 

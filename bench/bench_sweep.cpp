@@ -10,6 +10,7 @@
 //     the exit code, never by killing the sweep.
 //
 //   $ bench_sweep [--scale 64] [--seed 42] [--jobs N] [--json]
+//                 [--timeline PATH [--epoch N]]
 #include <iostream>
 #include <vector>
 
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   // kShared: each workload's trace is generated from the same seed under
   // every policy, reproducing the paper's fair-comparison methodology.
   spec.seed_mode = runner::SeedMode::kShared;
+  bench::apply_timeline(spec, ctx);
 
   runner::SweepOptions options;
   options.jobs = ctx.jobs;
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   } else {
     sweep.write_csv(std::cout);
   }
+  bench::maybe_write_timeline(sweep, ctx);
 
   double busy_ms = 0;
   for (const auto& job : sweep.jobs) busy_ms += job.wall_ms;

@@ -1,9 +1,9 @@
 #include "check/fuzzer.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
 
+#include "util/fraction.hpp"
 #include "util/random.hpp"
 #include "util/units.hpp"
 #include "util/zipf.hpp"
@@ -12,16 +12,11 @@ namespace hymem::check {
 
 namespace {
 
-/// Window size (in queue positions) the scheme will use, mirrored here
-/// (including the near-integer snap) so the thrash segment can straddle the
-/// exact boundary.
+/// Window size (in queue positions) the scheme will use — the shared
+/// round-off-safe rule, so the thrash segment can straddle the exact
+/// boundary.
 std::size_t window_positions(double perc, std::size_t capacity) {
-  const double product = perc * static_cast<double>(capacity);
-  const double nearest = std::round(product);
-  const double snapped =
-      std::abs(product - nearest) <= 1e-9 * std::max(1.0, nearest) ? nearest
-                                                                   : product;
-  return std::min(capacity, static_cast<std::size_t>(std::ceil(snapped)));
+  return util::snap_ceil_fraction(perc, capacity);
 }
 
 template <typename T, std::size_t N>

@@ -1,10 +1,9 @@
 #include "check/invariants.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <unordered_set>
 
 #include "util/check.hpp"
+#include "util/fraction.hpp"
 
 namespace hymem::check {
 
@@ -19,18 +18,11 @@ void check_invariants(const core::TwoLruMigrationPolicy& policy) {
   HYMEM_CHECK_MSG(nvm.size() <= nvm.capacity(),
                   "NVM queue grew past its capacity");
 
-  // Window targets derive from the configured fractions:
-  // min(ceil(perc * capacity), capacity), with near-integer products snapped
-  // before the ceil (0.07 * 100 must give 7, not 8).
+  // Window targets derive from the configured fractions via the shared
+  // round-off-safe rule (0.07 * 100 must give 7, not 8).
   const core::MigrationConfig& cfg = policy.config();
   const auto target = [&](double perc) {
-    const double product = perc * static_cast<double>(nvm.capacity());
-    const double nearest = std::round(product);
-    const double snapped =
-        std::abs(product - nearest) <= 1e-9 * std::max(1.0, nearest) ? nearest
-                                                                     : product;
-    return std::min(nvm.capacity(),
-                    static_cast<std::size_t>(std::ceil(snapped)));
+    return util::snap_ceil_fraction(perc, nvm.capacity());
   };
   HYMEM_CHECK_MSG(nvm.read_window_target() == target(cfg.read_perc),
                   "read window target disagrees with readperc");

@@ -1,25 +1,19 @@
 #include "check/reference_model.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/check.hpp"
+#include "util/fraction.hpp"
 
 namespace hymem::check {
 
 namespace {
 
+// The oracle deliberately shares the *call* (one spec decision, one home in
+// util/fraction.hpp) rather than keeping an independent transcription: the
+// snap rule is a spec choice, not a derived behavior worth diffing.
 std::size_t window_target(double perc, std::size_t capacity) {
-  HYMEM_CHECK_MSG(perc >= 0.0 && perc <= 1.0, "window fraction out of [0,1]");
-  // Same spec decision as the production queue (independently transcribed):
-  // products a round-off hair above an integer snap back before the ceil,
-  // so 7% of 100 positions is 7, not 8.
-  const double product = perc * static_cast<double>(capacity);
-  const double nearest = std::round(product);
-  const double snapped =
-      std::abs(product - nearest) <= 1e-9 * std::max(1.0, nearest) ? nearest
-                                                                   : product;
-  return std::min(capacity, static_cast<std::size_t>(std::ceil(snapped)));
+  return util::snap_ceil_fraction(perc, capacity);
 }
 
 }  // namespace

@@ -1,39 +1,21 @@
 #include "core/nvm_queue.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/check.hpp"
+#include "util/fraction.hpp"
 
 namespace hymem::core {
-
-namespace {
-
-std::size_t window_target(double perc, std::size_t capacity) {
-  HYMEM_CHECK_MSG(perc >= 0.0 && perc <= 1.0, "window fraction out of [0,1]");
-  const double product = perc * static_cast<double>(capacity);
-  // Binary round-off can land the product a hair above the intended integer
-  // (0.07 * 100 == 7.000000000000001), which a raw ceil turns into an
-  // off-by-one window. Snap products within one part in 1e9 of an integer
-  // before rounding up.
-  const double nearest = std::round(product);
-  const double snapped =
-      std::abs(product - nearest) <= 1e-9 * std::max(1.0, nearest) ? nearest
-                                                                   : product;
-  return std::min(capacity, static_cast<std::size_t>(std::ceil(snapped)));
-}
-
-}  // namespace
 
 CountedLruQueue::CountedLruQueue(std::size_t capacity, double read_perc,
                                  double write_perc)
     : capacity_(capacity), pool_(capacity) {
   HYMEM_CHECK_MSG(capacity > 0, "queue capacity must be positive");
   index_.reserve(capacity);
-  read_win_ = Window{window_target(read_perc, capacity), 0, nullptr,
-                     &Node::in_read, &Node::read_ctr};
-  write_win_ = Window{window_target(write_perc, capacity), 0, nullptr,
-                      &Node::in_write, &Node::write_ctr};
+  read_win_ = Window{util::snap_ceil_fraction(read_perc, capacity), 0, nullptr,
+                     0, &Node::in_read, &Node::read_ctr};
+  write_win_ = Window{util::snap_ceil_fraction(write_perc, capacity), 0,
+                      nullptr, 0, &Node::in_write, &Node::write_ctr};
 }
 
 CountedLruQueue::Node* CountedLruQueue::find(PageId page) const {
@@ -56,6 +38,7 @@ void CountedLruQueue::enter_front(Window& w, Node& node) {
     // resets (Algorithm 1 lines 8-9).
     Node* leaver = w.boundary;
     leaver->*(w.flag) = false;
+    w.sum -= leaver->*(w.ctr);
     leaver->*(w.ctr) = 0;
     w.boundary = w.count > 1 ? list_.prev(*leaver) : nullptr;
   } else {
@@ -71,6 +54,7 @@ void CountedLruQueue::leave(Window& w, Node& node) {
     w.boundary = w.count > 1 ? list_.prev(node) : nullptr;
   }
   node.*(w.flag) = false;
+  w.sum -= node.*(w.ctr);
   node.*(w.ctr) = 0;
   --w.count;
 }
@@ -100,7 +84,11 @@ std::uint64_t CountedLruQueue::record_hit(PageId page, AccessType type) {
   // (re-)entering from outside. A zero-width window tracks nothing.
   const bool now_in = is_read ? node->in_read : node->in_write;
   std::uint64_t& ctr = is_read ? node->read_ctr : node->write_ctr;
+  const std::uint64_t before = ctr;
   ctr = now_in ? (was_in ? ctr + 1 : 1) : 0;
+  // The new value never drops below the old one here (resets happen in
+  // enter_front/leave, which already debit the sum).
+  (is_read ? read_win_ : write_win_).sum += ctr - before;
   return ctr;
 }
 
@@ -126,6 +114,15 @@ void CountedLruQueue::erase(PageId page) {
   pool_.release(node);
   refill(read_win_);
   refill(write_win_);
+}
+
+CountedLruQueue::WindowStats CountedLruQueue::window_stats(
+    const Window& w) const {
+  WindowStats stats;
+  stats.target = w.target;
+  stats.pages = w.count;
+  stats.counter_sum = w.sum;
+  return stats;
 }
 
 std::optional<PageId> CountedLruQueue::lru_victim() const {
@@ -163,6 +160,7 @@ void CountedLruQueue::check_invariants() const {
     HYMEM_CHECK(w->count == std::min(w->target, list_.size()));
     // The window must be exactly the first `count` nodes, ending at boundary.
     std::size_t seen = 0;
+    std::uint64_t walked_sum = 0;
     bool prefix_over = false;
     const Node* last_in = nullptr;
     list_.for_each([&](const Node& n) {
@@ -170,6 +168,7 @@ void CountedLruQueue::check_invariants() const {
       if (in) {
         HYMEM_CHECK_MSG(!prefix_over, "window is not a prefix");
         ++seen;
+        walked_sum += n.*(w->ctr);
         last_in = &n;
       } else {
         prefix_over = true;
@@ -177,6 +176,8 @@ void CountedLruQueue::check_invariants() const {
       }
     });
     HYMEM_CHECK(seen == w->count);
+    HYMEM_CHECK_MSG(walked_sum == w->sum,
+                    "incremental window counter sum drifted from the walk");
     HYMEM_CHECK((w->count == 0) == (w->boundary == nullptr));
     if (w->boundary != nullptr) HYMEM_CHECK(w->boundary == last_in);
   }

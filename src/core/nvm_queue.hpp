@@ -56,6 +56,23 @@ class CountedLruQueue {
   /// The LRU-end page, i.e. the eviction victim. nullopt when empty.
   std::optional<PageId> lru_victim() const;
 
+  /// One window's aggregate state, for epoch sampling: configured target,
+  /// current population and the sum of the member pages' counters. The sum
+  /// is maintained incrementally (like the boundaries), so a snapshot is
+  /// O(1) — epoch sampling never walks the queue.
+  struct WindowStats {
+    std::size_t target = 0;
+    std::size_t pages = 0;
+    std::uint64_t counter_sum = 0;
+    double mean_counter() const {
+      return pages ? static_cast<double>(counter_sum) /
+                         static_cast<double>(pages)
+                   : 0.0;
+    }
+  };
+  WindowStats read_window_stats() const { return window_stats(read_win_); }
+  WindowStats write_window_stats() const { return window_stats(write_win_); }
+
   // --- Introspection (tests, debugging) -------------------------------------
   bool in_read_window(PageId page) const;
   bool in_write_window(PageId page) const;
@@ -85,11 +102,13 @@ class CountedLruQueue {
     std::size_t target = 0;
     std::size_t count = 0;
     Node* boundary = nullptr;  // last node inside the window
+    std::uint64_t sum = 0;     // sum of member counters, kept incrementally
     bool Node::* flag;
     std::uint64_t Node::* ctr;
   };
 
   Node* find(PageId page) const;
+  WindowStats window_stats(const Window& w) const;
   /// Handles window membership for a node about to move to the front.
   void enter_front(Window& w, Node& node);
   /// Re-fills a window after a removal shrank it below min(target, size).

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "util/check.hpp"
-
 namespace hymem::model {
 
 ModelParams ModelParams::from_vmm(const os::Vmm& vmm) {
@@ -20,7 +18,11 @@ ModelParams ModelParams::from_vmm(const os::Vmm& vmm) {
 }
 
 AmatBreakdown amat(const EventCounts& c, const ModelParams& p) {
-  HYMEM_CHECK_MSG(c.accesses > 0, "AMAT of an empty run");
+  // Zero accesses is a well-defined input, not a programming error: epoch
+  // sampling legitimately evaluates Eq. 1 over 0-access delta windows, and
+  // an empty run must surface as a zero breakdown (or a structured per-job
+  // failure upstream), never abort the process.
+  if (c.accesses == 0) return AmatBreakdown{};
   const auto n = static_cast<double>(c.accesses);
   const auto pf = static_cast<double>(c.page_factor);
   AmatBreakdown b;

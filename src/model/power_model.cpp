@@ -6,8 +6,10 @@ namespace hymem::model {
 
 PowerBreakdown appr(const EventCounts& c, const ModelParams& p,
                     double duration_s) {
-  HYMEM_CHECK_MSG(c.accesses > 0, "APPR of an empty run");
   HYMEM_CHECK_MSG(duration_s >= 0.0, "negative duration");
+  // Same contract as model::amat: a 0-access window (empty run, epoch
+  // delta) yields a zero breakdown instead of aborting.
+  if (c.accesses == 0) return PowerBreakdown{};
   const auto n = static_cast<double>(c.accesses);
   const auto pf = static_cast<double>(c.page_factor);
   PowerBreakdown b;

@@ -1,0 +1,119 @@
+#include "obs/epoch.hpp"
+
+#include "model/perf_model.hpp"
+#include "model/power_model.hpp"
+#include "util/check.hpp"
+
+namespace hymem::obs {
+
+namespace {
+
+/// Bucket edges for the visible-latency histogram, matched to the cost
+/// model's landmarks: DRAM hit (~50 ns), NVM read/write (~100/350 ns),
+/// migrations (PageFactor * device latencies, ~1e4 ns) and the disk fault
+/// plateau (~5e6 ns).
+std::vector<double> latency_bounds() {
+  return {50.0, 100.0, 350.0, 1e3, 1e4, 1e5, 1e6, 1e7};
+}
+
+/// counts-at-boundary minus counts-at-previous-boundary, field by field.
+/// page_factor is a run constant, not an accumulator, so it carries over.
+model::EventCounts delta_counts(const model::EventCounts& now,
+                                const model::EventCounts& then) {
+  model::EventCounts d;
+  d.accesses = now.accesses - then.accesses;
+  d.dram_read_hits = now.dram_read_hits - then.dram_read_hits;
+  d.dram_write_hits = now.dram_write_hits - then.dram_write_hits;
+  d.nvm_read_hits = now.nvm_read_hits - then.nvm_read_hits;
+  d.nvm_write_hits = now.nvm_write_hits - then.nvm_write_hits;
+  d.page_faults = now.page_faults - then.page_faults;
+  d.fills_to_dram = now.fills_to_dram - then.fills_to_dram;
+  d.fills_to_nvm = now.fills_to_nvm - then.fills_to_nvm;
+  d.migrations_to_dram = now.migrations_to_dram - then.migrations_to_dram;
+  d.migrations_to_nvm = now.migrations_to_nvm - then.migrations_to_nvm;
+  d.dirty_evictions = now.dirty_evictions - then.dirty_evictions;
+  d.page_factor = now.page_factor;
+  return d;
+}
+
+}  // namespace
+
+EpochSampler::EpochSampler(std::uint64_t epoch_length, const os::Vmm& vmm,
+                           const core::TwoLruMigrationPolicy* policy,
+                           double duration_s)
+    : vmm_(vmm),
+      policy_(policy),
+      duration_s_(duration_s),
+      params_(model::ModelParams::from_vmm(vmm)),
+      epoch_length_(epoch_length),
+      reads_(registry_.counter("accesses.read")),
+      writes_(registry_.counter("accesses.write")),
+      latency_hist_(
+          registry_.histogram("visible_latency_ns", latency_bounds())) {
+  HYMEM_CHECK_MSG(epoch_length > 0, "epoch length must be positive");
+  timeline_.epoch_length = epoch_length;
+  last_counts_.page_factor = vmm.page_factor();
+}
+
+void EpochSampler::on_access(PageId, AccessType type, Nanoseconds latency) {
+  (type == AccessType::kRead ? reads_ : writes_).inc();
+  latency_hist_.record(latency);
+  ++accesses_;
+  ++in_epoch_;
+  epoch_latency_ns_ += latency;
+  if (in_epoch_ == epoch_length_) emit_epoch();
+}
+
+void EpochSampler::emit_epoch() {
+  EpochRecord record;
+  record.epoch = timeline_.epochs.size();
+  record.end_access = accesses_;
+
+  const model::EventCounts cumulative =
+      model::EventCounts::from_vmm(vmm_, accesses_);
+  record.delta = delta_counts(cumulative, last_counts_);
+
+  record.dram_resident = vmm_.resident(Tier::kDram);
+  record.nvm_resident = vmm_.resident(Tier::kNvm);
+
+  if (policy_ != nullptr) {
+    const core::CountedLruQueue& nvm = policy_->nvm_queue();
+    record.read_window = nvm.read_window_stats();
+    record.write_window = nvm.write_window_stats();
+    record.read_threshold = policy_->read_threshold();
+    record.write_threshold = policy_->write_threshold();
+    record.promotions = policy_->promotions() - last_promotions_;
+    record.demotions = policy_->demotions() - last_demotions_;
+    record.throttled_promotions =
+        policy_->throttled_promotions() - last_throttled_;
+    last_promotions_ = policy_->promotions();
+    last_demotions_ = policy_->demotions();
+    last_throttled_ = policy_->throttled_promotions();
+  }
+
+  record.amat_total_ns = model::amat(record.delta, params_).total();
+  record.mean_visible_latency_ns =
+      in_epoch_ ? epoch_latency_ns_ / static_cast<double>(in_epoch_) : 0.0;
+  // APPR needs the epoch's wall-time share, which is only known once the
+  // run's total access count is: on_run_end() back-fills appr_total_nj.
+
+  timeline_.epochs.push_back(record);
+  last_counts_ = cumulative;
+  in_epoch_ = 0;
+  epoch_latency_ns_ = 0.0;
+}
+
+void EpochSampler::on_run_end() {
+  if (in_epoch_ > 0) emit_epoch();  // the remainder epoch
+  if (accesses_ == 0) return;
+  // Eq. 2 per epoch: static power prorated by the epoch's access share of
+  // the run's ROI wall time.
+  for (EpochRecord& record : timeline_.epochs) {
+    const double share = static_cast<double>(record.delta.accesses) /
+                         static_cast<double>(accesses_);
+    record.appr_total_nj =
+        model::appr(record.delta, params_, duration_s_ * share).total();
+  }
+}
+
+}  // namespace hymem::obs

@@ -1,0 +1,96 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace hymem::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1, 0) {
+  HYMEM_CHECK_MSG(
+      std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end(),
+                         [](double a, double b) { return a >= b; }) ==
+          upper_bounds_.end(),
+      "histogram bucket bounds must be strictly increasing");
+}
+
+void Histogram::record(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+namespace {
+
+template <typename Entries>
+auto* find_entry(Entries& entries, std::string_view name) {
+  for (auto& e : entries) {
+    if (e.name == name) return e.metric.get();
+  }
+  return decltype(entries.front().metric.get()){nullptr};
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (Counter* found = find_entry(counters_, name)) return *found;
+  counters_.push_back({std::string(name), std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (Gauge* found = find_entry(gauges_, name)) return *found;
+  gauges_.push_back({std::string(name), std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  if (Histogram* found = find_entry(histograms_, name)) return *found;
+  histograms_.push_back(
+      {std::string(name), std::make_unique<Histogram>(std::move(upper_bounds))});
+  return *histograms_.back().metric;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << std::setprecision(12);
+  out << "{";
+  bool first = true;
+  const auto key = [&](const std::string& name) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << util::json_escape(name) << "\": ";
+  };
+  for (const auto& e : counters_) {
+    key(e.name);
+    out << e.metric->value;
+  }
+  for (const auto& e : gauges_) {
+    key(e.name);
+    out << e.metric->value;
+  }
+  for (const auto& e : histograms_) {
+    key(e.name);
+    out << "{\"count\": " << e.metric->count()
+        << ", \"sum\": " << e.metric->sum() << ", \"upper_bounds\": [";
+    for (std::size_t i = 0; i < e.metric->upper_bounds().size(); ++i) {
+      if (i) out << ", ";
+      out << e.metric->upper_bounds()[i];
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t i = 0; i < e.metric->buckets().size(); ++i) {
+      if (i) out << ", ";
+      out << e.metric->buckets()[i];
+    }
+    out << "]}";
+  }
+  out << "\n}";
+}
+
+}  // namespace hymem::obs

@@ -1,0 +1,103 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Everything here is plain structs and vectors — no atomics, no locks, no
+// allocation on the hot path. The concurrency model is ownership, not
+// synchronization: each engine run (each sweep job) owns its own registry,
+// so the parallel runner drives instrumented engines with zero shared
+// mutable state. Hot-path users resolve a metric once by name at setup
+// (references are stable for the registry's lifetime) and then touch a
+// plain field per event.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hymem::obs {
+
+/// Monotonically increasing event count.
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t n = 1) { value += n; }
+};
+
+/// Last-write-wins instantaneous value.
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+};
+
+/// Fixed-bucket histogram: `upper_bounds` (strictly increasing) define the
+/// bucket edges; values <= upper_bounds[i] land in bucket i, anything
+/// larger in the implicit overflow bucket. Bucket layout is fixed at
+/// registration, so record() is a branchless-ish search plus one increment.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double value);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Bucket counts; size() == upper_bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Owns named metrics for one engine instance. Names are unique per kind;
+/// re-requesting a name returns the same object. Iteration order is
+/// registration order, which is deterministic because registration happens
+/// on the (deterministic) setup path — exports are therefore byte-stable.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` are only consulted on first registration; a later call
+  /// with the same name returns the existing histogram unchanged.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  /// Flat JSON object: counters as integers, gauges as numbers, histograms
+  /// as {buckets, upper_bounds, count, sum}. Keys are escaped with the
+  /// shared util::json_escape.
+  void write_json(std::ostream& out) const;
+
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    for (const auto& e : counters_) fn(e.name, *e.metric);
+  }
+  template <typename Fn>
+  void for_each_gauge(Fn&& fn) const {
+    for (const auto& e : gauges_) fn(e.name, *e.metric);
+  }
+  template <typename Fn>
+  void for_each_histogram(Fn&& fn) const {
+    for (const auto& e : histograms_) fn(e.name, *e.metric);
+  }
+
+ private:
+  /// unique_ptr storage keeps returned references stable across growth.
+  template <typename M>
+  struct Entry {
+    std::string name;
+    std::unique_ptr<M> metric;
+  };
+
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+};
+
+}  // namespace hymem::obs

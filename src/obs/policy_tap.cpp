@@ -1,0 +1,32 @@
+#include "obs/policy_tap.hpp"
+
+namespace hymem::obs {
+
+void attach_policy_tap(core::TwoLruMigrationPolicy& policy,
+                       MetricsRegistry& registry) {
+  // Resolve every metric once; the hook then touches plain fields.
+  Counter& reads = registry.counter("scheme.accesses.read");
+  Counter& writes = registry.counter("scheme.accesses.write");
+  Gauge& promotions = registry.gauge("scheme.promotions");
+  Gauge& demotions = registry.gauge("scheme.demotions");
+  Gauge& throttled = registry.gauge("scheme.throttled_promotions");
+  Gauge& read_threshold = registry.gauge("scheme.read_threshold");
+  Gauge& write_threshold = registry.gauge("scheme.write_threshold");
+  Gauge& dram_resident = registry.gauge("scheme.dram_resident");
+  Gauge& nvm_resident = registry.gauge("scheme.nvm_resident");
+  policy.set_audit_hook([&reads, &writes, &promotions, &demotions, &throttled,
+                         &read_threshold, &write_threshold, &dram_resident,
+                         &nvm_resident](const core::TwoLruMigrationPolicy& p,
+                                        PageId, AccessType type) {
+    (type == AccessType::kRead ? reads : writes).inc();
+    promotions.set(static_cast<double>(p.promotions()));
+    demotions.set(static_cast<double>(p.demotions()));
+    throttled.set(static_cast<double>(p.throttled_promotions()));
+    read_threshold.set(static_cast<double>(p.read_threshold()));
+    write_threshold.set(static_cast<double>(p.write_threshold()));
+    dram_resident.set(static_cast<double>(p.vmm().resident(Tier::kDram)));
+    nvm_resident.set(static_cast<double>(p.vmm().resident(Tier::kNvm)));
+  });
+}
+
+}  // namespace hymem::obs

@@ -1,0 +1,29 @@
+// Policy-level metric tap: wires a MetricsRegistry into the migration
+// scheme's per-access audit-hook seam (the same seam src/check uses for
+// its invariant checker). Where the engine tap sees the run from above
+// (latencies, request mix), this tap sees Algorithm 1 from inside:
+// threshold crossings, demotion pressure, queue occupancy.
+#pragma once
+
+#include "core/migration_scheme.hpp"
+#include "obs/metrics.hpp"
+
+namespace hymem::obs {
+
+/// Installs an audit hook on `policy` that keeps these registry metrics
+/// current after every access (read-only policy introspection; the hook
+/// mutates only the registry, which must outlive the policy's run):
+///
+///   counters  scheme.accesses.read / scheme.accesses.write
+///   gauges    scheme.promotions, scheme.demotions,
+///             scheme.throttled_promotions, scheme.read_threshold,
+///             scheme.write_threshold, scheme.dram_resident,
+///             scheme.nvm_resident
+///
+/// Replaces any previously installed audit hook (the seam holds one hook;
+/// compose manually if both the invariant checker and this tap are
+/// needed).
+void attach_policy_tap(core::TwoLruMigrationPolicy& policy,
+                       MetricsRegistry& registry);
+
+}  // namespace hymem::obs

@@ -1,0 +1,121 @@
+#include "obs/timeline_io.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace hymem::obs {
+
+namespace {
+
+std::string fmt_double(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
+}
+
+}  // namespace
+
+const std::vector<std::string>& timeline_csv_header() {
+  static const std::vector<std::string> header = {
+      "epoch",
+      "end_access",
+      "accesses",
+      "dram_read_hits",
+      "dram_write_hits",
+      "nvm_read_hits",
+      "nvm_write_hits",
+      "page_faults",
+      "fills_to_dram",
+      "fills_to_nvm",
+      "migrations_to_dram",
+      "migrations_to_nvm",
+      "dirty_evictions",
+      "dram_resident",
+      "nvm_resident",
+      "read_window_pages",
+      "read_window_target",
+      "read_counter_mean",
+      "write_window_pages",
+      "write_window_target",
+      "write_counter_mean",
+      "read_threshold",
+      "write_threshold",
+      "promotions",
+      "demotions",
+      "throttled_promotions",
+      "amat_total_ns",
+      "appr_total_nj",
+      "mean_visible_latency_ns"};
+  return header;
+}
+
+std::vector<std::string> timeline_csv_fields(const EpochRecord& r) {
+  return {std::to_string(r.epoch),
+          std::to_string(r.end_access),
+          std::to_string(r.delta.accesses),
+          std::to_string(r.delta.dram_read_hits),
+          std::to_string(r.delta.dram_write_hits),
+          std::to_string(r.delta.nvm_read_hits),
+          std::to_string(r.delta.nvm_write_hits),
+          std::to_string(r.delta.page_faults),
+          std::to_string(r.delta.fills_to_dram),
+          std::to_string(r.delta.fills_to_nvm),
+          std::to_string(r.delta.migrations_to_dram),
+          std::to_string(r.delta.migrations_to_nvm),
+          std::to_string(r.delta.dirty_evictions),
+          std::to_string(r.dram_resident),
+          std::to_string(r.nvm_resident),
+          std::to_string(r.read_window.pages),
+          std::to_string(r.read_window.target),
+          fmt_double(r.read_window.mean_counter()),
+          std::to_string(r.write_window.pages),
+          std::to_string(r.write_window.target),
+          fmt_double(r.write_window.mean_counter()),
+          std::to_string(r.read_threshold),
+          std::to_string(r.write_threshold),
+          std::to_string(r.promotions),
+          std::to_string(r.demotions),
+          std::to_string(r.throttled_promotions),
+          fmt_double(r.amat_total_ns),
+          fmt_double(r.appr_total_nj),
+          fmt_double(r.mean_visible_latency_ns)};
+}
+
+void write_timeline_csv(const Timeline& timeline, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.write_row(timeline_csv_header());
+  for (const EpochRecord& record : timeline.epochs) {
+    writer.write_row(timeline_csv_fields(record));
+  }
+}
+
+void write_timeline_json(const Timeline& timeline, std::ostream& out,
+                         std::string_view workload, std::string_view policy) {
+  out << std::setprecision(12);
+  out << "{\n  \"epoch_length\": " << timeline.epoch_length;
+  if (!workload.empty()) {
+    out << ",\n  \"workload\": \"" << util::json_escape(workload) << "\"";
+  }
+  if (!policy.empty()) {
+    out << ",\n  \"policy\": \"" << util::json_escape(policy) << "\"";
+  }
+  out << ",\n  \"epochs\": [";
+  const auto& header = timeline_csv_header();
+  for (std::size_t i = 0; i < timeline.epochs.size(); ++i) {
+    if (i) out << ",";
+    // Reuse the CSV projection: same columns, same values, one schema.
+    const auto fields = timeline_csv_fields(timeline.epochs[i]);
+    out << "\n    {";
+    for (std::size_t j = 0; j < fields.size(); ++j) {
+      if (j) out << ", ";
+      out << "\"" << util::json_escape(header[j]) << "\": " << fields[j];
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace hymem::obs

@@ -1,5 +1,6 @@
 #include "runner/progress.hpp"
 
+#include <cinttypes>
 #include <cstdio>
 #include <sstream>
 #include <utility>
@@ -50,14 +51,26 @@ ProgressSnapshot ProgressTracker::snapshot() const {
 }
 
 std::string format_progress(const ProgressSnapshot& snapshot) {
-  char buf[128];
-  std::snprintf(buf, sizeof buf,
-                "%llu/%llu (%.1f%%) elapsed %.1fs eta %.1fs, %llu failed",
-                static_cast<unsigned long long>(snapshot.completed),
-                static_cast<unsigned long long>(snapshot.total),
-                100.0 * snapshot.fraction(), snapshot.elapsed_s,
-                snapshot.eta_s,
-                static_cast<unsigned long long>(snapshot.failed));
+  // PRIu64 matches std::uint64_t on every ABI; %llu + casts only happened
+  // to line up where unsigned long long is 64-bit.
+  char buf[160];
+  if (snapshot.completed == 0) {
+    // No completion yet means no observed rate — printing "eta 0.0s" would
+    // claim the sweep is done when it has not started.
+    std::snprintf(buf, sizeof buf,
+                  "%" PRIu64 "/%" PRIu64 " (%.1f%%) elapsed %.1fs, %" PRIu64
+                  " failed",
+                  snapshot.completed, snapshot.total,
+                  100.0 * snapshot.fraction(), snapshot.elapsed_s,
+                  snapshot.failed);
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "%" PRIu64 "/%" PRIu64
+                  " (%.1f%%) elapsed %.1fs eta %.1fs, %" PRIu64 " failed",
+                  snapshot.completed, snapshot.total,
+                  100.0 * snapshot.fraction(), snapshot.elapsed_s,
+                  snapshot.eta_s, snapshot.failed);
+  }
   return buf;
 }
 

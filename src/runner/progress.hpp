@@ -48,7 +48,8 @@ class ProgressTracker {
   std::uint64_t failed_ = 0;
 };
 
-/// "  12/96 (12.5%) elapsed 3.1s eta 21.7s, 0 failed" — one line, no \n.
+/// "12/96 (12.5%) elapsed 3.1s eta 21.7s, 0 failed" — one line, no \n.
+/// The eta field is omitted until the first completion (no observed rate).
 std::string format_progress(const ProgressSnapshot& snapshot);
 
 /// Callback that rewrites one stderr status line per completion (\r-style)

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/timeline_io.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/results_io.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/random.hpp"
 
 namespace hymem::runner {
@@ -86,22 +88,30 @@ void SweepResults::write_csv(std::ostream& out) const {
   }
 }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-      continue;
+std::size_t SweepResults::write_timeline_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  const auto& epoch_header = obs::timeline_csv_header();
+  std::vector<std::string> header = {"workload", "policy", "variant", "seed"};
+  header.insert(header.end(), epoch_header.begin(), epoch_header.end());
+  writer.write_row(header);
+  std::size_t rows = 0;
+  for (const auto& job : jobs) {
+    if (!job.ok || job.result.timeline.empty()) continue;
+    for (const auto& record : job.result.timeline.epochs) {
+      std::vector<std::string> row = {job.job.workload.name, job.job.policy,
+                                      job.job.variant,
+                                      std::to_string(job.job.seed)};
+      auto fields = obs::timeline_csv_fields(record);
+      row.insert(row.end(), std::make_move_iterator(fields.begin()),
+                 std::make_move_iterator(fields.end()));
+      writer.write_row(row);
+      ++rows;
     }
-    out += c;
   }
-  return out;
+  return rows;
 }
 
-}  // namespace
+using util::json_escape;
 
 void SweepResults::write_json(std::ostream& out) const {
   out << "[";

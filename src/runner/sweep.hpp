@@ -101,6 +101,13 @@ struct SweepResults {
   /// JSON array of {workload, policy, variant, seed, status[, error]
   /// [, result]} objects; `result` nests sim::write_json's object.
   void write_json(std::ostream& out) const;
+  /// Splices every successful job's epoch timeline into one CSV: the job
+  /// identity columns (workload, policy, variant, seed) followed by
+  /// obs::timeline_csv_header(). Jobs appear in grid order, epochs in run
+  /// order, so the output is byte-identical for any worker count. Jobs that
+  /// ran without sampling (timeline_epoch == 0) or failed contribute no
+  /// rows. Returns the number of epoch rows written.
+  std::size_t write_timeline_csv(std::ostream& out) const;
   /// Human-readable failure summary; writes nothing when all jobs passed.
   void write_failures(std::ostream& out) const;
 };

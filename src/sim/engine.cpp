@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <stdexcept>
+
 #include "trace/access.hpp"
 #include "trace/interner.hpp"
 #include "util/check.hpp"
@@ -15,8 +17,15 @@ constexpr std::size_t kReplayPrefetchDistance = 8;
 }  // namespace
 
 RunResult run_trace(policy::HybridPolicy& policy, const trace::Trace& trace,
-                    double duration_s, unsigned warmup_passes) {
-  HYMEM_CHECK_MSG(!trace.empty(), "empty trace");
+                    double duration_s, unsigned warmup_passes,
+                    obs::RunObserver* observer) {
+  // invalid_argument (bad input) rather than HYMEM_CHECK (logic error):
+  // the sweep runner converts it into a structured per-job failure instead
+  // of the whole process dying on one truncated capture.
+  if (trace.empty()) {
+    throw std::invalid_argument("empty trace: \"" + trace.name() +
+                                "\" has no accesses to replay");
+  }
   os::Vmm& vmm = policy.vmm();
   // Decode addresses to pages once; every warmup pass and the measured pass
   // replay the cached page sequence instead of re-dividing per access.
@@ -36,11 +45,26 @@ RunResult run_trace(policy::HybridPolicy& policy, const trace::Trace& trace,
   result.policy = std::string(policy.name());
   result.workload = trace.name();
   result.duration_s = duration_s;
-  for (std::size_t i = 0; i < pages.size(); ++i) {
-    if (i + kReplayPrefetchDistance < pages.size()) {
-      policy.prefetch(pages[i + kReplayPrefetchDistance]);
+  if (observer == nullptr) {
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      if (i + kReplayPrefetchDistance < pages.size()) {
+        policy.prefetch(pages[i + kReplayPrefetchDistance]);
+      }
+      result.visible_latency_ns += policy.on_access(pages[i], accesses[i].type);
     }
-    result.visible_latency_ns += policy.on_access(pages[i], accesses[i].type);
+  } else {
+    // Separate instrumented loop so the uninstrumented replay path carries
+    // no per-access observer branch at all.
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      if (i + kReplayPrefetchDistance < pages.size()) {
+        policy.prefetch(pages[i + kReplayPrefetchDistance]);
+      }
+      const Nanoseconds latency =
+          policy.on_access(pages[i], accesses[i].type);
+      result.visible_latency_ns += latency;
+      observer->on_access(pages[i], accesses[i].type, latency);
+    }
+    observer->on_run_end();
   }
   result.accesses = pages.size();
   result.counts = model::EventCounts::from_vmm(vmm, result.accesses);
@@ -49,7 +73,8 @@ RunResult run_trace(policy::HybridPolicy& policy, const trace::Trace& trace,
 }
 
 RunResult run_stream(policy::HybridPolicy& policy,
-                     trace::StreamTraceReader& reader, double duration_s) {
+                     trace::StreamTraceReader& reader, double duration_s,
+                     obs::RunObserver* observer) {
   os::Vmm& vmm = policy.vmm();
   const std::uint64_t page_size = vmm.config().page_size;
   RunResult result;
@@ -58,10 +83,16 @@ RunResult run_stream(policy::HybridPolicy& policy,
   result.duration_s = duration_s;
   while (const auto access = reader.next()) {
     const PageId page = trace::page_of(access->addr, page_size);
-    result.visible_latency_ns += policy.on_access(page, access->type);
+    const Nanoseconds latency = policy.on_access(page, access->type);
+    result.visible_latency_ns += latency;
     ++result.accesses;
+    if (observer != nullptr) observer->on_access(page, access->type, latency);
   }
-  HYMEM_CHECK_MSG(result.accesses > 0, "empty stream");
+  if (observer != nullptr) observer->on_run_end();
+  if (result.accesses == 0) {
+    throw std::invalid_argument("empty stream: \"" + reader.name() +
+                                "\" yielded no accesses");
+  }
   result.counts = model::EventCounts::from_vmm(vmm, result.accesses);
   result.params = model::ModelParams::from_vmm(vmm);
   return result;

@@ -10,6 +10,8 @@
 #include "model/model_params.hpp"
 #include "model/perf_model.hpp"
 #include "model/power_model.hpp"
+#include "obs/epoch.hpp"
+#include "obs/tap.hpp"
 #include "policy/hybrid_policy.hpp"
 #include "trace/stream_io.hpp"
 #include "trace/trace.hpp"
@@ -27,6 +29,9 @@ struct RunResult {
   /// Sum of the per-request latencies the policy reported (sanity handle;
   /// the headline metric is the Eq. 1 AMAT over `counts`).
   Nanoseconds visible_latency_ns = 0;
+  /// Epoch time-series (empty unless the run sampled one; see
+  /// ExperimentConfig::timeline_epoch and obs::EpochSampler).
+  obs::Timeline timeline;
 
   model::AmatBreakdown amat() const { return model::amat(counts, params); }
   model::PowerBreakdown appr() const {
@@ -43,13 +48,22 @@ struct RunResult {
 /// `warmup_passes` replays of the trace run first with accounting reset
 /// afterwards, so the measured pass reflects the steady state (the paper
 /// sizes inputs "to minimize the effect of starting from cold memory").
+///
+/// `observer` (optional) sees every *measured* access (never warmup) plus
+/// one on_run_end(); null costs a single predicted branch per access.
+///
+/// Throws std::invalid_argument on an empty trace — bad input, not a logic
+/// error, so the sweep runner reports it as a per-job failure.
 RunResult run_trace(policy::HybridPolicy& policy, const trace::Trace& trace,
-                    double duration_s, unsigned warmup_passes = 0);
+                    double duration_s, unsigned warmup_passes = 0,
+                    obs::RunObserver* observer = nullptr);
 
 /// Streaming variant: pulls records from a chunked stream reader
 /// (constant memory — for captures too large to materialize). No warmup
-/// support: streams are single-pass.
+/// support: streams are single-pass. Throws std::invalid_argument when the
+/// stream yields no accesses.
 RunResult run_stream(policy::HybridPolicy& policy,
-                     trace::StreamTraceReader& reader, double duration_s);
+                     trace::StreamTraceReader& reader, double duration_s,
+                     obs::RunObserver* observer = nullptr);
 
 }  // namespace hymem::sim

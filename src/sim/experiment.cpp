@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "core/migration_scheme.hpp"
+#include "obs/epoch.hpp"
 #include "sim/policy_factory.hpp"
 #include "synth/generator.hpp"
 #include "trace/interner.hpp"
@@ -13,7 +16,12 @@ namespace hymem::sim {
 
 MemorySizing size_memory(std::uint64_t footprint_pages,
                          const ExperimentConfig& config) {
-  HYMEM_CHECK_MSG(footprint_pages > 0, "empty footprint");
+  // Bad input (an empty workload), not a logic error: throw something the
+  // sweep runner can catch into a structured per-job failure.
+  if (footprint_pages == 0) {
+    throw std::invalid_argument(
+        "empty footprint: workload touches no pages, cannot size memory");
+  }
   HYMEM_CHECK(config.memory_fraction > 0.0 && config.memory_fraction <= 1.0);
   HYMEM_CHECK(config.dram_fraction >= 0.0 && config.dram_fraction <= 1.0);
   MemorySizing s;
@@ -58,6 +66,27 @@ std::uint64_t footprint_of(const trace::Trace& trace,
   return characterizer.stats().distinct_pages;
 }
 
+// Measured pass with an EpochSampler attached when the config asks for a
+// timeline; otherwise the plain uninstrumented replay.
+RunResult measured_run(policy::HybridPolicy& policy, const trace::Trace& trace,
+                       double duration_s, unsigned warmup_passes,
+                       const ExperimentConfig& config) {
+  if (config.timeline_epoch == 0) {
+    return run_trace(policy, trace, duration_s, warmup_passes);
+  }
+  // The sampler reads scheme internals (windows, thresholds) only when the
+  // policy actually is the two-LRU scheme; single-tier baselines still get
+  // the VMM-level columns.
+  const auto* scheme =
+      dynamic_cast<const core::TwoLruMigrationPolicy*>(&policy);
+  obs::EpochSampler sampler(config.timeline_epoch, policy.vmm(), scheme,
+                            duration_s);
+  RunResult result =
+      run_trace(policy, trace, duration_s, warmup_passes, &sampler);
+  result.timeline = sampler.take_timeline();
+  return result;
+}
+
 }  // namespace
 
 RunResult run_experiment(const trace::Trace& trace, double duration_s,
@@ -65,7 +94,7 @@ RunResult run_experiment(const trace::Trace& trace, double duration_s,
   const MemorySizing sizing = size_memory(footprint_of(trace, config), config);
   os::Vmm vmm(vmm_config_for(sizing, config));
   const auto policy = make_policy(config.policy, vmm, config.migration);
-  return run_trace(*policy, trace, duration_s, config.warmup_passes);
+  return measured_run(*policy, trace, duration_s, config.warmup_passes, config);
 }
 
 RunResult run_experiment(const trace::Trace& warmup,
@@ -89,7 +118,8 @@ RunResult run_experiment(const trace::Trace& warmup,
     }
   }
   vmm.reset_accounting();
-  return run_trace(*policy, measured, duration_s, /*warmup_passes=*/0);
+  return measured_run(*policy, measured, duration_s, /*warmup_passes=*/0,
+                      config);
 }
 
 RunResult run_workload(const synth::WorkloadProfile& profile,

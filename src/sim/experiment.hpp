@@ -33,6 +33,10 @@ struct ExperimentConfig {
   /// Uncounted replays of the trace before the measured pass (steady-state
   /// measurement; see run_trace).
   unsigned warmup_passes = 1;
+  /// When nonzero, the measured pass samples an epoch time-series every
+  /// `timeline_epoch` accesses into RunResult::timeline (obs::EpochSampler).
+  /// Zero (the default) keeps the replay loop uninstrumented.
+  std::uint64_t timeline_epoch = 0;
 };
 
 /// Memory sizing derived from a trace's footprint.

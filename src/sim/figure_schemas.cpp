@@ -2,7 +2,24 @@
 
 #include <stdexcept>
 
+#include "obs/timeline_io.hpp"
+
 namespace hymem::sim {
+
+namespace {
+
+// The timeline table is the sweep runner's spliced export: job identity
+// columns then the obs epoch columns. Composing from
+// obs::timeline_csv_header() keeps one source of truth — the golden-header
+// test pins this composed schema, which in turn pins the obs header.
+std::vector<std::string> timeline_columns() {
+  std::vector<std::string> columns = {"workload", "policy", "variant", "seed"};
+  const auto& epoch = obs::timeline_csv_header();
+  columns.insert(columns.end(), epoch.begin(), epoch.end());
+  return columns;
+}
+
+}  // namespace
 
 const std::vector<FigureSchema>& figure_schemas() {
   static const std::vector<FigureSchema> schemas = {
@@ -46,6 +63,7 @@ const std::vector<TableSchema>& table_schemas() {
       {"table3",
        {"Workload", "Working Set (KB)", "# Reads", "# Writes", "read %",
         "write %", "write-dominant pages"}},
+      {"timeline", timeline_columns()},
   };
   return schemas;
 }

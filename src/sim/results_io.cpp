@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/csv.hpp"
+#include "util/json.hpp"
 
 namespace hymem::sim {
 
@@ -50,16 +51,7 @@ class JsonObject {
     out_ << '"' << escape(key) << "\": ";
   }
   static std::string escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      if (c == '\n') {
-        out += "\\n";
-        continue;
-      }
-      out += c;
-    }
-    return out;
+    return util::json_escape(s);
   }
 
   std::ostream& out_;

@@ -1,0 +1,35 @@
+// Round-off-safe fractional sizing shared by every window-target
+// computation (CountedLruQueue, the differential oracle, the invariant
+// checker, the fuzzer, the epoch sampler).
+//
+// ceil(perc * capacity) is the paper's window-size rule, but binary
+// round-off can land the product a hair above the intended integer
+// (0.07 * 100 == 7.000000000000001), which a raw ceil turns into an
+// off-by-one window. PR 3 found that bug and snapped products within one
+// part in 1e9 of an integer before rounding up; this header is the single
+// home of that snap so the five call sites cannot drift apart.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace hymem::util {
+
+/// min(total, ceil(fraction * total)) with near-integer products snapped:
+/// products within one part in 1e9 of an integer round to that integer
+/// instead of up. `fraction` must lie in [0, 1].
+inline std::size_t snap_ceil_fraction(double fraction, std::size_t total) {
+  HYMEM_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                  "fraction out of [0,1]");
+  const double product = fraction * static_cast<double>(total);
+  const double nearest = std::round(product);
+  const double snapped =
+      std::abs(product - nearest) <= 1e-9 * std::max(1.0, nearest) ? nearest
+                                                                   : product;
+  return std::min(total, static_cast<std::size_t>(std::ceil(snapped)));
+}
+
+}  // namespace hymem::util

@@ -102,10 +102,18 @@ class IntrusiveList {
     ListHook* n = (node.*Hook).next;
     return n == &sentinel_ ? nullptr : owner(n);
   }
+  const T* next(const T& node) const {
+    const ListHook* n = (node.*Hook).next;
+    return n == &sentinel_ ? nullptr : owner(n);
+  }
 
   /// Node before `node` (towards MRU end), or nullptr at the front.
   T* prev(T& node) {
     ListHook* p = (node.*Hook).prev;
+    return p == &sentinel_ ? nullptr : owner(p);
+  }
+  const T* prev(const T& node) const {
+    const ListHook* p = (node.*Hook).prev;
     return p == &sentinel_ ? nullptr : owner(p);
   }
 

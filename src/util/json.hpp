@@ -1,0 +1,21 @@
+// Shared JSON string escaping for every JSON writer in the tree
+// (sim/results_io, runner sweep export, obs timeline export).
+//
+// RFC 8259 requires escaping `"`, `\` and the full control range
+// U+0000..U+001F. The historical per-file escapers handled only `"` `\`
+// and `\n`, so a tab or carriage return in a workload/trace name produced
+// invalid JSON; this is the single compliant implementation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hymem::util {
+
+/// Escapes `s` for embedding inside a JSON string literal: `"` and `\` get
+/// backslash-escaped, control characters use the two-character shorthands
+/// (\b \t \n \f \r) where they exist and \u00XX otherwise. Input is treated
+/// as opaque bytes (UTF-8 passes through untouched).
+std::string json_escape(std::string_view s);
+
+}  // namespace hymem::util

@@ -59,9 +59,15 @@ TEST(PerfModel, MigrationTermScalesWithPageFactor) {
   EXPECT_DOUBLE_EQ(large.migration_ns, 2 * small.migration_ns);
 }
 
-TEST(PerfModel, EmptyRunRejected) {
+TEST(PerfModel, EmptyRunYieldsZeroBreakdown) {
+  // Eq. 1 over zero accesses is a legitimate query now that the epoch
+  // sampler evaluates it per epoch (a window can contain no accesses):
+  // every term is zero, not a crash.
   EventCounts c;
-  EXPECT_THROW(amat(c, table4_params()), std::logic_error);
+  const auto breakdown = amat(c, table4_params());
+  EXPECT_DOUBLE_EQ(breakdown.total(), 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.request_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.migration_ns, 0.0);
 }
 
 TEST(PerfModel, ModelParamsFromVmm) {

@@ -87,9 +87,13 @@ TEST(PowerModel, NegativeDurationRejected) {
   EXPECT_THROW(appr(c, gig_params(), -1.0), std::logic_error);
 }
 
-TEST(PowerModel, EmptyRunRejected) {
+TEST(PowerModel, EmptyRunYieldsZeroBreakdown) {
+  // Zero-access windows happen under epoch sampling; Eq. 2 degrades to an
+  // all-zero breakdown instead of aborting the process.
   EventCounts c;
-  EXPECT_THROW(appr(c, gig_params(), 1.0), std::logic_error);
+  const auto breakdown = appr(c, gig_params(), 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.total(), 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.static_nj, 0.0);
 }
 
 }  // namespace

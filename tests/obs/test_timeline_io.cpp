@@ -1,0 +1,137 @@
+#include "obs/timeline_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/figure_schemas.hpp"
+
+namespace hymem::obs {
+namespace {
+
+EpochRecord sample_record() {
+  EpochRecord r;
+  r.epoch = 2;
+  r.end_access = 3000;
+  r.delta.accesses = 1000;
+  r.delta.dram_read_hits = 600;
+  r.delta.nvm_read_hits = 300;
+  r.delta.page_faults = 100;
+  r.dram_resident = 3;
+  r.nvm_resident = 21;
+  r.read_window.target = 5;
+  r.read_window.pages = 4;
+  r.read_window.counter_sum = 12;
+  r.read_threshold = 6;
+  r.promotions = 7;
+  r.amat_total_ns = 123.5;
+  return r;
+}
+
+TEST(TimelineIo, GoldenHeader) {
+  // Pinned column list: plotting scripts and the figure-schema registry
+  // depend on these exact names in this exact order.
+  const std::vector<std::string> expected = {
+      "epoch",
+      "end_access",
+      "accesses",
+      "dram_read_hits",
+      "dram_write_hits",
+      "nvm_read_hits",
+      "nvm_write_hits",
+      "page_faults",
+      "fills_to_dram",
+      "fills_to_nvm",
+      "migrations_to_dram",
+      "migrations_to_nvm",
+      "dirty_evictions",
+      "dram_resident",
+      "nvm_resident",
+      "read_window_pages",
+      "read_window_target",
+      "read_counter_mean",
+      "write_window_pages",
+      "write_window_target",
+      "write_counter_mean",
+      "read_threshold",
+      "write_threshold",
+      "promotions",
+      "demotions",
+      "throttled_promotions",
+      "amat_total_ns",
+      "appr_total_nj",
+      "mean_visible_latency_ns"};
+  EXPECT_EQ(timeline_csv_header(), expected);
+}
+
+TEST(TimelineIo, FieldsAlignWithHeader) {
+  EXPECT_EQ(timeline_csv_fields(sample_record()).size(),
+            timeline_csv_header().size());
+}
+
+TEST(TimelineIo, TableSchemaComposesJobIdentityPlusEpochColumns) {
+  const auto& schema = sim::table_schema("timeline");
+  std::vector<std::string> expected = {"workload", "policy", "variant", "seed"};
+  const auto& epoch_columns = timeline_csv_header();
+  expected.insert(expected.end(), epoch_columns.begin(), epoch_columns.end());
+  EXPECT_EQ(schema.columns, expected);
+}
+
+TEST(TimelineIo, CsvHasHeaderAndOneRowPerEpoch) {
+  Timeline timeline;
+  timeline.epoch_length = 1000;
+  timeline.epochs = {sample_record(), sample_record(), sample_record()};
+  std::ostringstream out;
+  write_timeline_csv(timeline, out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("epoch,end_access,accesses,", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("2,3000,1000,600,", 0), 0u);
+}
+
+TEST(TimelineIo, WindowMeanUsesPopulationNotTarget) {
+  const EpochRecord r = sample_record();
+  // 12 counter sum over 4 pages in the window -> mean 3.
+  EXPECT_DOUBLE_EQ(r.read_window.mean_counter(), 3.0);
+  const auto fields = timeline_csv_fields(r);
+  const auto& header = timeline_csv_header();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "read_counter_mean") {
+      EXPECT_EQ(fields[i], "3");
+    }
+  }
+}
+
+TEST(TimelineIo, JsonCarriesTagsAndEpochObjects) {
+  Timeline timeline;
+  timeline.epoch_length = 512;
+  timeline.epochs = {sample_record()};
+  std::ostringstream out;
+  write_timeline_json(timeline, out, "can\"neal", "two-lru");
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"epoch_length\": 512"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"workload\": \"can\\\"neal\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"policy\": \"two-lru\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"end_access\": 3000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"amat_total_ns\": 123.5"), std::string::npos) << json;
+}
+
+TEST(TimelineIo, EmptyTimelineWritesHeaderOnly) {
+  Timeline timeline;
+  std::ostringstream out;
+  write_timeline_csv(timeline, out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hymem::obs

@@ -79,7 +79,34 @@ TEST(Progress, FormatIsHumanReadable) {
   const std::string line = format_progress(snap);
   EXPECT_NE(line.find("12/96"), std::string::npos);
   EXPECT_NE(line.find("12.5%"), std::string::npos);
+  EXPECT_NE(line.find("eta 21.9s"), std::string::npos);
   EXPECT_NE(line.find("1 failed"), std::string::npos);
+}
+
+TEST(Progress, FormatOmitsEtaBeforeFirstCompletion) {
+  // With zero completions there is no observed rate; "eta 0.0s" would read
+  // as "done". The line simply drops the eta field.
+  ProgressSnapshot snap;
+  snap.total = 96;
+  snap.elapsed_s = 0.5;
+  const std::string line = format_progress(snap);
+  EXPECT_NE(line.find("0/96"), std::string::npos);
+  EXPECT_EQ(line.find("eta"), std::string::npos) << line;
+  EXPECT_NE(line.find("0 failed"), std::string::npos);
+}
+
+TEST(Progress, FormatHandlesFullUint64Range) {
+  // The formatter uses PRIu64: values past 2^32 (where a mismatched %lu
+  // on LLP64 would truncate) must print exactly.
+  ProgressSnapshot snap;
+  snap.completed = 18446744073709551614ull;
+  snap.total = 18446744073709551615ull;
+  snap.failed = 4294967297ull;  // 2^32 + 1
+  const std::string line = format_progress(snap);
+  EXPECT_NE(line.find("18446744073709551614/18446744073709551615"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("4294967297 failed"), std::string::npos) << line;
 }
 
 }  // namespace

@@ -175,6 +175,76 @@ TEST(Sweep, WorkerCountIsClampedToGridSize) {
   EXPECT_EQ(sweep.failures(), 0u);
 }
 
+TEST(Sweep, EmptyTraceJobFailsItsCellOnly) {
+  // Regression: an empty workload used to HYMEM_CHECK-abort the whole
+  // process from size_memory/run_trace. It must now surface as one failed
+  // cell (std::invalid_argument, captured) with every other cell intact.
+  auto spec = tiny_spec();
+  synth::WorkloadProfile empty;
+  empty.name = "empty-capture";
+  empty.working_set_kb = 128;
+  empty.reads = 0;
+  empty.writes = 0;
+  spec.workloads.push_back(empty);
+  SweepOptions options;
+  options.jobs = 3;
+  const auto sweep = run_sweep(spec, options);
+  ASSERT_EQ(sweep.jobs.size(), 6u);
+  EXPECT_EQ(sweep.failures(), 2u);  // empty workload × two policies
+  for (const auto& job : sweep.jobs) {
+    if (job.job.workload.name == "empty-capture") {
+      EXPECT_FALSE(job.ok);
+      EXPECT_FALSE(job.error.empty());
+    } else {
+      EXPECT_TRUE(job.ok) << job.error;
+    }
+  }
+  // The surviving cells match a sweep that never contained the poisoned
+  // workload: fault isolation cannot perturb neighbours.
+  const auto clean = run_sweep(tiny_spec(), SweepOptions{});
+  const auto survivors = sweep.results();
+  const auto reference = clean.results();
+  ASSERT_EQ(survivors.size(), reference.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(survivors[i].counts.page_faults, reference[i].counts.page_faults);
+    EXPECT_DOUBLE_EQ(survivors[i].amat().total(), reference[i].amat().total());
+  }
+}
+
+std::string timeline_of(const SweepSpec& spec, unsigned workers) {
+  SweepOptions options;
+  options.jobs = workers;
+  const auto sweep = run_sweep(spec, options);
+  std::ostringstream out;
+  sweep.write_timeline_csv(out);
+  return out.str();
+}
+
+TEST(Sweep, TimelineCsvIsByteIdenticalForAnyWorkerCount) {
+  auto spec = tiny_spec();
+  ConfigVariant sampled;
+  sampled.label = "timeline";
+  sampled.config.timeline_epoch = 512;
+  spec.variants = {sampled};
+  const std::string reference = timeline_of(spec, 1);
+  // Sampling happened and spliced rows carry the job identity prefix.
+  EXPECT_NE(reference.find("\nstreamcluster,two-lru,timeline,42,0,"),
+            std::string::npos);
+  for (const unsigned workers : {2u, 4u}) {
+    EXPECT_EQ(timeline_of(spec, workers), reference)
+        << "timeline divergence with " << workers << " workers";
+  }
+}
+
+TEST(Sweep, TimelineCsvIsHeaderOnlyWhenSamplingOff) {
+  const auto sweep = run_sweep(tiny_spec(), SweepOptions{});
+  std::ostringstream out;
+  EXPECT_EQ(sweep.write_timeline_csv(out), 0u);
+  EXPECT_EQ(out.str().rfind("workload,policy,variant,seed,epoch,", 0), 0u);
+  EXPECT_EQ(out.str().find('\n'), out.str().size() - 1)
+      << "expected a single header line";
+}
+
 TEST(Sweep, SweepCsvSplicesSimResultsIoColumns) {
   const auto sweep = run_sweep(tiny_spec(), SweepOptions{});
   std::ostringstream csv;

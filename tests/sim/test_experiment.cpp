@@ -83,7 +83,9 @@ TEST(Experiment, DeterministicAcrossRuns) {
 
 TEST(Experiment, InvalidFootprintRejected) {
   ExperimentConfig cfg;
-  EXPECT_THROW(size_memory(0, cfg), std::logic_error);
+  // Empty workloads are bad *input*: invalid_argument so a sweep converts
+  // the cell into a structured failure instead of dying.
+  EXPECT_THROW(size_memory(0, cfg), std::invalid_argument);
 }
 
 }  // namespace

@@ -24,7 +24,9 @@ TEST(FigureSchemas, RegistryCoversEveryPaperFigure) {
                                         "fig4a", "fig4b", "fig4c"}));
   std::set<std::string> tables;
   for (const auto& s : table_schemas()) tables.insert(s.id);
-  EXPECT_EQ(tables, (std::set<std::string>{"table1", "table3"}));
+  // "timeline" is not a paper artifact but rides in the same registry so
+  // its column list is pinned the same way (see tests/obs).
+  EXPECT_EQ(tables, (std::set<std::string>{"table1", "table3", "timeline"}));
 }
 
 TEST(FigureSchemas, LookupReturnsTheRegisteredEntryOrThrows) {

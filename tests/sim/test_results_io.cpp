@@ -66,6 +66,21 @@ TEST(ResultsIo, EscapesSpecialCharacters) {
   EXPECT_NE(json.find("with \\\"quotes\\\" and\\nnewline"), std::string::npos);
 }
 
+TEST(ResultsIo, EscapesFullControlRange) {
+  // Regression: the escaper handled only \" \\ \n; raw \x01..\x1f bytes
+  // (e.g. ESC from a captured trace name) produced invalid JSON. It now
+  // delegates to util::json_escape, which covers the RFC 8259 range.
+  RunResult r = sample_result();
+  r.workload = std::string("esc\x1b") + "\x01tab\tend";
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("esc\\u001b\\u0001tab\\tend"), std::string::npos) << json;
+  for (const char c : json) {
+    if (c == '\n') continue;  // the writer's own pretty-printing
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte in JSON output";
+  }
+}
+
 TEST(ResultsIo, CsvFieldsMatchHeaderWidthAndIdentification) {
   const auto result = sample_result();
   const auto fields = csv_fields(result);

@@ -1,0 +1,44 @@
+#include "util/fraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hymem::util {
+namespace {
+
+TEST(SnapCeilFraction, ExactProductsDoNotRoundUp) {
+  EXPECT_EQ(snap_ceil_fraction(0.25, 8), 2u);
+  EXPECT_EQ(snap_ceil_fraction(0.5, 10), 5u);
+  EXPECT_EQ(snap_ceil_fraction(0.1, 10), 1u);
+}
+
+TEST(SnapCeilFraction, FractionalRemainderRoundsUp) {
+  EXPECT_EQ(snap_ceil_fraction(0.3, 7), 3u);   // 2.1 -> 3
+  EXPECT_EQ(snap_ceil_fraction(0.34, 50), 17u);
+  EXPECT_EQ(snap_ceil_fraction(0.01, 10), 1u);  // 0.1 -> 1
+}
+
+TEST(SnapCeilFraction, FloatingNoiseAboveIntegerSnapsDown) {
+  // 0.07 * 100 = 7.000000000000001 in binary64; a naive ceil() reports 8.
+  // The 1e-9 relative snap recovers the intended 7 — the bug this helper
+  // exists to fix, previously hand-mirrored in four call sites.
+  EXPECT_EQ(snap_ceil_fraction(0.07, 100), 7u);
+  EXPECT_EQ(snap_ceil_fraction(0.29, 100), 29u);
+}
+
+TEST(SnapCeilFraction, Extremes) {
+  EXPECT_EQ(snap_ceil_fraction(0.0, 1000), 0u);
+  EXPECT_EQ(snap_ceil_fraction(1.0, 1000), 1000u);
+  EXPECT_EQ(snap_ceil_fraction(0.5, 0), 0u);
+  // Result never exceeds the total even if rounding pushes it up.
+  EXPECT_EQ(snap_ceil_fraction(0.999999, 3), 3u);
+}
+
+TEST(SnapCeilFraction, OutOfRangeFractionRejected) {
+  EXPECT_THROW(snap_ceil_fraction(-0.1, 10), std::logic_error);
+  EXPECT_THROW(snap_ceil_fraction(1.5, 10), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hymem::util

@@ -1,0 +1,87 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hymem::util {
+namespace {
+
+TEST(JsonEscape, PlainTextPassesThrough) {
+  EXPECT_EQ(json_escape("hello world_42.csv"), "hello world_42.csv");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, QuoteAndBackslash) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\temp"), "C:\\\\temp");
+}
+
+TEST(JsonEscape, ShorthandControls) {
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+}
+
+TEST(JsonEscape, FullRfc8259ControlRange) {
+  // RFC 8259 requires escaping EVERY code point below 0x20, not just the
+  // five with shorthands — \x01, \x1b (ESC) etc. used to leak through raw.
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1b')), "\\u001b");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped = json_escape(std::string(1, static_cast<char>(c)));
+    for (const char out : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(out), 0x20u)
+          << "control byte " << c << " leaked through unescaped";
+    }
+  }
+}
+
+TEST(JsonEscape, Utf8AndHighBytesPassThrough) {
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(json_escape("\xf0\x9f\x94\xa5"), "\xf0\x9f\x94\xa5");
+}
+
+// Minimal JSON string unescaper for the round-trip check below.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'f': out += '\f'; break;
+      case 'r': out += '\r'; break;
+      case 'u': {
+        unsigned code = 0;
+        std::sscanf(s.c_str() + i + 1, "%4x", &code);
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unknown escape: \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST(JsonEscape, RoundTripsEveryByte) {
+  std::string all;
+  for (int c = 0; c < 256; ++c) all += static_cast<char>(c);
+  EXPECT_EQ(json_unescape(json_escape(all)), all);
+}
+
+}  // namespace
+}  // namespace hymem::util
