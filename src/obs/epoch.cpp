@@ -40,9 +40,11 @@ model::EventCounts delta_counts(const model::EventCounts& now,
 
 EpochSampler::EpochSampler(std::uint64_t epoch_length, const os::Vmm& vmm,
                            const core::TwoLruMigrationPolicy* policy,
-                           double duration_s)
+                           double duration_s,
+                           const SampledStatsSource* sampled)
     : vmm_(vmm),
       policy_(policy),
+      sampled_(sampled),
       duration_s_(duration_s),
       params_(model::ModelParams::from_vmm(vmm)),
       epoch_length_(epoch_length),
@@ -53,6 +55,16 @@ EpochSampler::EpochSampler(std::uint64_t epoch_length, const os::Vmm& vmm,
   HYMEM_CHECK_MSG(epoch_length > 0, "epoch length must be positive");
   timeline_.epoch_length = epoch_length;
   last_counts_.page_factor = vmm.page_factor();
+  if (sampled_ != nullptr) {
+    sampled_samples_ = &registry_.counter("sampled.samples");
+    sampled_drops_ = &registry_.counter("sampled.sample_drops");
+    sampled_coolings_ = &registry_.counter("sampled.coolings");
+    sampled_promotions_ = &registry_.counter("sampled.promotions");
+    sampled_demotions_ = &registry_.counter("sampled.demotions");
+    sampled_backlog_ = &registry_.gauge("sampled.migration_backlog");
+    sampled_hot_hwm_ = &registry_.gauge("sampled.hot_ring_hwm");
+    sampled_cold_hwm_ = &registry_.gauge("sampled.cold_ring_hwm");
+  }
 }
 
 void EpochSampler::on_access(PageId, AccessType type, Nanoseconds latency) {
@@ -89,6 +101,29 @@ void EpochSampler::emit_epoch() {
     last_promotions_ = policy_->promotions();
     last_demotions_ = policy_->demotions();
     last_throttled_ = policy_->throttled_promotions();
+  }
+
+  if (sampled_ != nullptr) {
+    const SampledStats now = sampled_->sampled_stats();
+    record.samples = now.samples - last_sampled_.samples;
+    record.sample_drops = now.sample_drops - last_sampled_.sample_drops;
+    record.coolings = now.coolings - last_sampled_.coolings;
+    record.sampled_promotions = now.promotions - last_sampled_.promotions;
+    record.sampled_demotions = now.demotions - last_sampled_.demotions;
+    record.sampled_stale =
+        now.stale_candidates - last_sampled_.stale_candidates;
+    record.migration_backlog = now.backlog;
+    record.hot_ring_hwm = now.hot_ring_hwm;
+    record.cold_ring_hwm = now.cold_ring_hwm;
+    sampled_samples_->inc(record.samples);
+    sampled_drops_->inc(record.sample_drops);
+    sampled_coolings_->inc(record.coolings);
+    sampled_promotions_->inc(record.sampled_promotions);
+    sampled_demotions_->inc(record.sampled_demotions);
+    sampled_backlog_->set(static_cast<double>(now.backlog));
+    sampled_hot_hwm_->set(static_cast<double>(now.hot_ring_hwm));
+    sampled_cold_hwm_->set(static_cast<double>(now.cold_ring_hwm));
+    last_sampled_ = now;
   }
 
   record.amat_total_ns = model::amat(record.delta, params_).total();

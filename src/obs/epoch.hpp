@@ -26,6 +26,7 @@
 #include "model/events.hpp"
 #include "model/model_params.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampled_stats.hpp"
 #include "obs/tap.hpp"
 #include "os/vmm.hpp"
 
@@ -58,6 +59,17 @@ struct EpochRecord {
   double appr_total_nj = 0.0;
   /// Mean visible latency the policy reported over the epoch's accesses.
   double mean_visible_latency_ns = 0.0;
+
+  // Sampled-hotness subsystem (sampled-lru runs only; zero otherwise).
+  std::uint64_t samples = 0;             ///< Accesses sampled (delta).
+  std::uint64_t sample_drops = 0;        ///< Ring-full drops (delta).
+  std::uint64_t coolings = 0;            ///< Cooling passes (delta).
+  std::uint64_t sampled_promotions = 0;  ///< Async promotions (delta).
+  std::uint64_t sampled_demotions = 0;   ///< Async demotions (delta).
+  std::uint64_t sampled_stale = 0;       ///< Stale candidates (delta).
+  std::uint64_t migration_backlog = 0;   ///< Ring occupancy at the boundary.
+  std::uint64_t hot_ring_hwm = 0;        ///< High-water marks (cumulative
+  std::uint64_t cold_ring_hwm = 0;       ///< gauges, not deltas).
 };
 
 /// The whole run's epoch series.
@@ -75,9 +87,13 @@ class EpochSampler final : public RunObserver {
  public:
   /// `policy` may be null (single-tier runs have no windows to sample);
   /// `duration_s` is the run's ROI wall time, prorated per epoch by access
-  /// share for the Eq. 2 static term.
+  /// share for the Eq. 2 static term. `sampled` is the sampled-hotness
+  /// stats source when the run's policy carries one (sampled-lru), null
+  /// otherwise; when present its counters are charted per epoch and
+  /// exported through the registry as "sampled.*".
   EpochSampler(std::uint64_t epoch_length, const os::Vmm& vmm,
-               const core::TwoLruMigrationPolicy* policy, double duration_s);
+               const core::TwoLruMigrationPolicy* policy, double duration_s,
+               const SampledStatsSource* sampled = nullptr);
 
   void on_access(PageId page, AccessType type, Nanoseconds latency) override;
   void on_run_end() override;
@@ -95,6 +111,7 @@ class EpochSampler final : public RunObserver {
 
   const os::Vmm& vmm_;
   const core::TwoLruMigrationPolicy* policy_;
+  const SampledStatsSource* sampled_;
   double duration_s_;
   model::ModelParams params_;
   Timeline timeline_;
@@ -106,10 +123,21 @@ class EpochSampler final : public RunObserver {
   std::uint64_t last_promotions_ = 0;
   std::uint64_t last_demotions_ = 0;
   std::uint64_t last_throttled_ = 0;
+  SampledStats last_sampled_;  ///< Snapshot at the previous boundary.
   MetricsRegistry registry_;
   Counter& reads_;
   Counter& writes_;
   Histogram& latency_hist_;
+  // Registered (non-null) only when the run carries a sampled subsystem,
+  // so non-sampled runs keep their registry export byte-identical.
+  Counter* sampled_samples_ = nullptr;
+  Counter* sampled_drops_ = nullptr;
+  Counter* sampled_coolings_ = nullptr;
+  Counter* sampled_promotions_ = nullptr;
+  Counter* sampled_demotions_ = nullptr;
+  Gauge* sampled_backlog_ = nullptr;
+  Gauge* sampled_hot_hwm_ = nullptr;
+  Gauge* sampled_cold_hwm_ = nullptr;
 };
 
 }  // namespace hymem::obs

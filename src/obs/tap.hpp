@@ -19,8 +19,11 @@
 namespace hymem::obs {
 
 /// Interface for per-access observation of one engine run. Implementations
-/// must not mutate the policy or the VMM (read-only introspection, same
-/// rule as TwoLruMigrationPolicy::AuditHook).
+/// must not mutate the policy's serving state or the VMM (read-only
+/// introspection, same rule as TwoLruMigrationPolicy::AuditHook). The one
+/// sanctioned carve-out is the sampled-hotness tap (src/sample), which
+/// mutates only its own out-of-band sampling state — rings, hotness
+/// counters — never the placement the policy is executing.
 class RunObserver {
  public:
   virtual ~RunObserver() = default;
@@ -32,6 +35,29 @@ class RunObserver {
 
   /// The measured pass finished (flush partial epochs, finalize rollups).
   virtual void on_run_end() {}
+};
+
+/// Fans one run's events out to two observers, in order (first, then
+/// second). Used when a run needs both the sampling tap and the epoch
+/// sampler on the single observer seam the engine carries; the tap runs
+/// first so epoch-boundary snapshots see the sample that access produced.
+class TeeObserver final : public RunObserver {
+ public:
+  TeeObserver(RunObserver& first, RunObserver& second)
+      : first_(first), second_(second) {}
+
+  void on_access(PageId page, AccessType type, Nanoseconds latency) override {
+    first_.on_access(page, type, latency);
+    second_.on_access(page, type, latency);
+  }
+  void on_run_end() override {
+    first_.on_run_end();
+    second_.on_run_end();
+  }
+
+ private:
+  RunObserver& first_;
+  RunObserver& second_;
 };
 
 }  // namespace hymem::obs

@@ -48,7 +48,16 @@ const std::vector<std::string>& timeline_csv_header() {
       "throttled_promotions",
       "amat_total_ns",
       "appr_total_nj",
-      "mean_visible_latency_ns"};
+      "mean_visible_latency_ns",
+      "samples",
+      "sample_drops",
+      "coolings",
+      "sampled_promotions",
+      "sampled_demotions",
+      "sampled_stale",
+      "migration_backlog",
+      "hot_ring_hwm",
+      "cold_ring_hwm"};
   return header;
 }
 
@@ -81,7 +90,16 @@ std::vector<std::string> timeline_csv_fields(const EpochRecord& r) {
           std::to_string(r.throttled_promotions),
           fmt_double(r.amat_total_ns),
           fmt_double(r.appr_total_nj),
-          fmt_double(r.mean_visible_latency_ns)};
+          fmt_double(r.mean_visible_latency_ns),
+          std::to_string(r.samples),
+          std::to_string(r.sample_drops),
+          std::to_string(r.coolings),
+          std::to_string(r.sampled_promotions),
+          std::to_string(r.sampled_demotions),
+          std::to_string(r.sampled_stale),
+          std::to_string(r.migration_backlog),
+          std::to_string(r.hot_ring_hwm),
+          std::to_string(r.cold_ring_hwm)};
 }
 
 void write_timeline_csv(const Timeline& timeline, std::ostream& out) {

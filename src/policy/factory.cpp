@@ -33,7 +33,16 @@ std::unique_ptr<ReplacementPolicy> make_replacement(const std::string& name,
   if (name == "lru-k") return std::make_unique<LruKPolicy>(capacity);
   if (name == "2q") return std::make_unique<TwoQPolicy>(capacity);
   if (name == "random") return std::make_unique<RandomPolicy>(capacity, seed);
-  throw std::invalid_argument("unknown replacement policy: " + name);
+  // Enumerate what *would* have worked: the name usually arrives from a
+  // CLI flag, and the caller can't query the registry from an exception.
+  std::string msg = "unknown replacement policy: " + name + " (known: ";
+  bool first = true;
+  for (const std::string& known : replacement_names()) {
+    if (!first) msg += ", ";
+    msg += known;
+    first = false;
+  }
+  throw std::invalid_argument(msg + ")");
 }
 
 }  // namespace hymem::policy

@@ -1,0 +1,22 @@
+#include "sample/hotness.hpp"
+
+#include "util/check.hpp"
+
+namespace hymem::sample {
+
+HotnessBoard::HotnessBoard(std::uint64_t hot_threshold,
+                           std::uint64_t cold_threshold)
+    : hot_threshold_(hot_threshold), cold_threshold_(cold_threshold) {
+  HYMEM_CHECK_MSG(hot_threshold > 0, "hot threshold must be positive");
+  HYMEM_CHECK_MSG(cold_threshold <= hot_threshold,
+                  "cold threshold must not exceed hot threshold");
+}
+
+bool HotnessBoard::record(PageId page) {
+  std::uint64_t* count = counts_.try_emplace(page).first;
+  const std::uint64_t before = *count;
+  ++*count;
+  return before < hot_threshold_ && *count >= hot_threshold_;
+}
+
+}  // namespace hymem::sample

@@ -1,0 +1,76 @@
+// Per-page sampled-hotness table: the estimator side of the subsystem.
+//
+// Every sampled access bumps a per-page counter; a page becomes a promotion
+// candidate exactly when its counter crosses the hot threshold from below
+// (so a steadily hot page enters the candidate ring once per heat-up, not
+// once per sample). Periodically every counter is halved — HeMem-style
+// cooling — which both ages stale heat and generates demotion candidates:
+// pages whose counter falls below the cold threshold during a pass.
+//
+// The board is sampling state owned by the tap; policies never read it.
+// Residency filtering (only NVM pages promote, only DRAM pages demote)
+// happens in the tap, which can see the VMM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_page_map.hpp"
+#include "util/types.hpp"
+
+namespace hymem::sample {
+
+/// Sampled access counters with threshold-crossing detection and periodic
+/// cooling. Single-threaded: lives on whichever thread runs the tap.
+class HotnessBoard {
+ public:
+  HotnessBoard(std::uint64_t hot_threshold, std::uint64_t cold_threshold);
+
+  /// Counts one sample of `page`. Returns true exactly when this sample
+  /// lifts the counter across the hot threshold from below.
+  bool record(PageId page);
+
+  /// Halves every counter (one cooling pass). Pages whose counter crosses
+  /// below the cold threshold are reported through `on_cold` (after the
+  /// halving completes, in table order); counters that reach zero are
+  /// pruned so the table tracks only warm pages.
+  template <typename Fn>
+  void cool(Fn&& on_cold) {
+    cold_scratch_.clear();
+    dead_scratch_.clear();
+    counts_.for_each([this](PageId page, std::uint64_t& count) {
+      const std::uint64_t before = count;
+      count /= 2;
+      if (before >= cold_threshold_ && count < cold_threshold_) {
+        cold_scratch_.push_back(page);
+      }
+      if (count == 0) dead_scratch_.push_back(page);
+    });
+    for (const PageId page : dead_scratch_) counts_.erase(page);
+    for (const PageId page : cold_scratch_) on_cold(page);
+  }
+
+  /// Current counter of `page` (0 when untracked).
+  std::uint64_t value(PageId page) const {
+    const std::uint64_t* found = counts_.find(page);
+    return found != nullptr ? *found : 0;
+  }
+
+  /// Number of pages with a nonzero counter.
+  std::size_t tracked() const { return counts_.size(); }
+
+  std::uint64_t hot_threshold() const { return hot_threshold_; }
+  std::uint64_t cold_threshold() const { return cold_threshold_; }
+
+ private:
+  std::uint64_t hot_threshold_;
+  std::uint64_t cold_threshold_;
+  util::FlatPageMap<std::uint64_t> counts_;
+  // Reused across cooling passes: erase/callback must not run while
+  // for_each walks the table (backward-shift erase moves entries).
+  std::vector<PageId> cold_scratch_;
+  std::vector<PageId> dead_scratch_;
+};
+
+}  // namespace hymem::sample

@@ -1,0 +1,98 @@
+// The sampling tap: the producer half of the sampled-hotness subsystem.
+//
+// Rides the obs::RunObserver seam (the engine's per-access event tap) and
+// models a PEBS-style sampler: of the access stream it sees, every Nth
+// access is "sampled" — counted on the HotnessBoard — and the rest are
+// invisible, exactly the information loss a real sampling OS pays. Upward
+// hot-threshold crossings of NVM-resident pages enter the hot ring;
+// cooling passes (every cooling_period samples) push DRAM-resident
+// downward crossings into the cold ring. Full rings drop the candidate and
+// count the drop — samples are droppable by design.
+//
+// This is the sanctioned RunObserver carve-out (see obs/tap.hpp): the tap
+// mutates only its own sampling state (board, rings, counters), never the
+// placement the policy is executing. In threaded mode it takes the
+// policy's mutex around VMM residency reads, because the background
+// migrator mutates placement concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "obs/sampled_stats.hpp"
+#include "obs/tap.hpp"
+#include "os/vmm.hpp"
+#include "sample/config.hpp"
+#include "sample/hotness.hpp"
+#include "util/spsc_ring.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace hymem::sample {
+
+/// Per-run sampling tap. Single producer: lives on the thread replaying
+/// accesses (the engine thread), pushing candidates into rings it does not
+/// own — the policy owns them and is (or spawns) the consumer.
+class SamplingTap final : public obs::RunObserver {
+ public:
+  /// `mu` is the policy's serving mutex in threaded mode (taken around VMM
+  /// reads so residency checks don't race the migrator); nullptr in
+  /// deterministic virtual-time mode.
+  SamplingTap(const SampleConfig& config, const os::Vmm& vmm,
+              util::SpscRing<PageId>& hot_ring,
+              util::SpscRing<PageId>& cold_ring,
+              std::recursive_mutex* mu = nullptr);
+
+  void on_access(PageId page, AccessType type, Nanoseconds latency) override;
+
+  /// The engine announces the end of the measured pass here, before it
+  /// reads the VMM ledgers for the run's event counts. The policy hooks
+  /// this to join its background migrator, so those final reads (and the
+  /// epoch sampler's last flush, which the TeeObserver orders after the
+  /// tap) happen-after the last background mutation.
+  void on_run_end() override {
+    if (run_end_hook_) run_end_hook_();
+  }
+  void set_run_end_hook(std::function<void()> hook) {
+    run_end_hook_ = std::move(hook);
+  }
+
+  /// Tap-side counters (the migrator-side ones live in the policy).
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t drops() const { return hot_drops_ + cold_drops_; }
+  std::uint64_t coolings() const { return coolings_; }
+  std::uint64_t hot_ring_hwm() const { return hot_hwm_; }
+  std::uint64_t cold_ring_hwm() const { return cold_hwm_; }
+
+  const HotnessBoard& board() const { return board_; }
+
+  /// Zeroes the tap counters without touching the board or the rings (the
+  /// learned sampling state *is* the steady state a warmup pass builds).
+  /// Restarts the cooling phase. Producer-thread only.
+  void reset_stats() {
+    samples_ = hot_drops_ = cold_drops_ = coolings_ = 0;
+    hot_hwm_ = cold_hwm_ = 0;
+  }
+
+ private:
+  void sample(PageId page);
+
+  SampleConfig config_;
+  const os::Vmm& vmm_;
+  util::SpscRing<PageId>& hot_ring_;
+  util::SpscRing<PageId>& cold_ring_;
+  std::recursive_mutex* mu_;
+  std::function<void()> run_end_hook_;
+  HotnessBoard board_;
+
+  std::uint64_t countdown_;  // accesses until the next sample
+  std::uint64_t samples_ = 0;
+  std::uint64_t hot_drops_ = 0;
+  std::uint64_t cold_drops_ = 0;
+  std::uint64_t coolings_ = 0;
+  std::uint64_t hot_hwm_ = 0;
+  std::uint64_t cold_hwm_ = 0;
+};
+
+}  // namespace hymem::sample

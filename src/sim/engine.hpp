@@ -11,6 +11,7 @@
 #include "model/perf_model.hpp"
 #include "model/power_model.hpp"
 #include "obs/epoch.hpp"
+#include "obs/sampled_stats.hpp"
 #include "obs/tap.hpp"
 #include "policy/hybrid_policy.hpp"
 #include "trace/stream_io.hpp"
@@ -32,6 +33,10 @@ struct RunResult {
   /// Epoch time-series (empty unless the run sampled one; see
   /// ExperimentConfig::timeline_epoch and obs::EpochSampler).
   obs::Timeline timeline;
+  /// End-of-run counters of the sampled-hotness subsystem; meaningful only
+  /// when `has_sampled` (the run's policy was sampled-lru).
+  obs::SampledStats sampled;
+  bool has_sampled = false;
 
   model::AmatBreakdown amat() const { return model::amat(counts, params); }
   model::PowerBreakdown appr() const {

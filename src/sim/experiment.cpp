@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/migration_scheme.hpp"
 #include "obs/epoch.hpp"
+#include "obs/tap.hpp"
+#include "sample/sampled_policy.hpp"
 #include "sim/policy_factory.hpp"
 #include "synth/generator.hpp"
 #include "trace/interner.hpp"
@@ -66,13 +69,52 @@ std::uint64_t footprint_of(const trace::Trace& trace,
   return characterizer.stats().distinct_pages;
 }
 
-// Measured pass with an EpochSampler attached when the config asks for a
-// timeline; otherwise the plain uninstrumented replay.
+// Serializes an observer's per-access VMM reads against a live background
+// migrator through the policy's quiesced() seam. Used around the epoch
+// sampler in threaded sampled runs — its boundary snapshots read VMM
+// ledgers the migrator mutates. on_run_end forwards unwrapped: the tee
+// delivers it to the tap first, whose run-end hook joins the migrator
+// before the sampler's final flush runs.
+class QuiescedObserver final : public obs::RunObserver {
+ public:
+  QuiescedObserver(const sample::SampledLruPolicy& policy,
+                   obs::RunObserver& inner)
+      : policy_(policy), inner_(inner) {}
+
+  void on_access(PageId page, AccessType type, Nanoseconds latency) override {
+    policy_.quiesced([&] { inner_.on_access(page, type, latency); });
+  }
+  void on_run_end() override { inner_.on_run_end(); }
+
+ private:
+  const sample::SampledLruPolicy& policy_;
+  obs::RunObserver& inner_;
+};
+
+// Measured pass with the observers the run needs on the engine's single
+// seam: the sampling tap (always, for sampled policies — without it the
+// policy never migrates), plus an EpochSampler when the config asks for a
+// timeline, chained through a TeeObserver (tap first, so epoch-boundary
+// snapshots see the boundary access's sample).
 RunResult measured_run(policy::HybridPolicy& policy, const trace::Trace& trace,
                        double duration_s, unsigned warmup_passes,
                        const ExperimentConfig& config) {
+  auto* sampled = dynamic_cast<sample::SampledLruPolicy*>(&policy);
+  obs::RunObserver* tap = sampled != nullptr ? &sampled->tap() : nullptr;
+
+  const auto finish = [sampled](RunResult result) {
+    if (sampled != nullptr) {
+      // Threaded runs: quiesce the migrator so the stats are final and the
+      // structures are safe to read without locking.
+      sampled->stop_background();
+      result.sampled = sampled->sampled_stats();
+      result.has_sampled = true;
+    }
+    return result;
+  };
+
   if (config.timeline_epoch == 0) {
-    return run_trace(policy, trace, duration_s, warmup_passes);
+    return finish(run_trace(policy, trace, duration_s, warmup_passes, tap));
   }
   // The sampler reads scheme internals (windows, thresholds) only when the
   // policy actually is the two-LRU scheme; single-tier baselines still get
@@ -80,11 +122,23 @@ RunResult measured_run(policy::HybridPolicy& policy, const trace::Trace& trace,
   const auto* scheme =
       dynamic_cast<const core::TwoLruMigrationPolicy*>(&policy);
   obs::EpochSampler sampler(config.timeline_epoch, policy.vmm(), scheme,
-                            duration_s);
+                            duration_s, sampled);
+  std::optional<QuiescedObserver> locked_sampler;
+  obs::RunObserver* epoch_observer = &sampler;
+  if (sampled != nullptr && sampled->config().threaded) {
+    locked_sampler.emplace(*sampled, sampler);
+    epoch_observer = &*locked_sampler;
+  }
+  std::optional<obs::TeeObserver> tee;
+  obs::RunObserver* observer = epoch_observer;
+  if (tap != nullptr) {
+    tee.emplace(*tap, *epoch_observer);
+    observer = &*tee;
+  }
   RunResult result =
-      run_trace(policy, trace, duration_s, warmup_passes, &sampler);
+      run_trace(policy, trace, duration_s, warmup_passes, observer);
   result.timeline = sampler.take_timeline();
-  return result;
+  return finish(result);
 }
 
 }  // namespace
@@ -93,7 +147,11 @@ RunResult run_experiment(const trace::Trace& trace, double duration_s,
                          const ExperimentConfig& config) {
   const MemorySizing sizing = size_memory(footprint_of(trace, config), config);
   os::Vmm vmm(vmm_config_for(sizing, config));
-  const auto policy = make_policy(config.policy, vmm, config.migration);
+  const auto policy =
+      make_policy(config.policy, vmm, config.migration, config.sample);
+  // Note: run_trace's internal warmup passes bypass the observer seam, so
+  // on this single-trace path a sampled policy warms up placement (demand
+  // faults) but not hotness. The two-trace variant below warms both.
   return measured_run(*policy, trace, duration_s, config.warmup_passes, config);
 }
 
@@ -102,7 +160,15 @@ RunResult run_experiment(const trace::Trace& warmup,
                          const ExperimentConfig& config) {
   const MemorySizing sizing = size_memory(footprint_of(warmup, config), config);
   os::Vmm vmm(vmm_config_for(sizing, config));
-  const auto policy = make_policy(config.policy, vmm, config.migration);
+  const auto policy =
+      make_policy(config.policy, vmm, config.migration, config.sample);
+  // Sampled policies learn hotness through their tap, which normally rides
+  // the engine's observer seam; this hand-rolled warmup loop feeds it
+  // directly so the measured pass starts from a warmed hotness board, not
+  // just warmed placement.
+  auto* sampled_policy = dynamic_cast<sample::SampledLruPolicy*>(policy.get());
+  obs::RunObserver* warm_tap =
+      sampled_policy != nullptr ? &sampled_policy->tap() : nullptr;
   // Decode the warmup trace once and replay the cached page sequence for
   // every pass (the measured trace is decoded inside run_trace).
   const trace::PageIdInterner interner(warmup, config.page_size);
@@ -114,10 +180,20 @@ RunResult run_experiment(const trace::Trace& warmup,
       if (i + kPrefetchDistance < pages.size()) {
         policy->prefetch(pages[i + kPrefetchDistance]);
       }
-      policy->on_access(pages[i], accesses[i].type);
+      const Nanoseconds latency = policy->on_access(pages[i], accesses[i].type);
+      if (warm_tap != nullptr) {
+        warm_tap->on_access(pages[i], accesses[i].type, latency);
+      }
     }
   }
-  vmm.reset_accounting();
+  // The warmup loop above fed the tap, so a threaded migrator may be
+  // mid-migration right now: reset the ledgers under its serving mutex.
+  if (sampled_policy != nullptr) {
+    sampled_policy->quiesced([&vmm] { vmm.reset_accounting(); });
+    sampled_policy->reset_stats();
+  } else {
+    vmm.reset_accounting();
+  }
   return measured_run(*policy, measured, duration_s, /*warmup_passes=*/0,
                       config);
 }

@@ -11,6 +11,7 @@
 
 #include "core/migration_config.hpp"
 #include "mem/technology.hpp"
+#include "sample/config.hpp"
 #include "sim/engine.hpp"
 #include "synth/workload_profile.hpp"
 #include "trace/trace.hpp"
@@ -28,6 +29,11 @@ struct ExperimentConfig {
   mem::MemTechnology nvm = mem::pcm_table4();
   mem::DiskModel disk{};
   core::MigrationConfig migration{};
+  /// Sampled-hotness tunables; consulted only when `policy` is a
+  /// "sampled-*" name. The tap is wired automatically for those runs
+  /// (warmup included on the two-trace path) and the end-of-run counters
+  /// land in RunResult::sampled.
+  sample::SampleConfig sample{};
   mem::TransferMode transfer_mode = mem::TransferMode::kDma;
   bool wear_leveling = false;
   /// Uncounted replays of the trace before the measured pass (steady-state

@@ -64,6 +64,14 @@ const std::vector<TableSchema>& table_schemas() {
        {"Workload", "Working Set (KB)", "# Reads", "# Writes", "read %",
         "write %", "write-dominant pages"}},
       {"timeline", timeline_columns()},
+      // bench_sampled_frontier: the sampled-hotness accuracy-vs-overhead
+      // frontier (sample period x ring depth x migration budget) against
+      // the omniscient two-LRU and CLOCK-DWF baselines.
+      {"sampled-frontier",
+       {"workload", "policy", "variant", "sample_period", "ring_capacity",
+        "migration_budget", "drain_period", "amat_total_ns",
+        "amat_vs_two_lru", "appr_total_nj", "nvm_writes_total", "promotions",
+        "demotions", "sample_drops", "migration_backlog"}},
   };
   return schemas;
 }

@@ -9,14 +9,32 @@
 #include "policy/rank_mq.hpp"
 #include "policy/single_tier.hpp"
 #include "policy/static_partition.hpp"
+#include "sample/sampled_policy.hpp"
 
 namespace hymem::sim {
 
 std::vector<std::string> policy_names() {
-  return {"dram-only",  "nvm-only",         "clock-dwf",
-          "two-lru",    "two-lru-adaptive", "static-partition",
-          "dram-cache", "rank-mq"};
+  return {"dram-only",  "nvm-only", "clock-dwf",   "two-lru",
+          "two-lru-adaptive",       "static-partition",
+          "dram-cache", "rank-mq",  "sampled-lru"};
 }
+
+namespace {
+
+/// Unknown names usually arrive from CLI flags; list the registry in the
+/// error so the caller does not have to go find it.
+[[noreturn]] void throw_unknown_policy(const std::string& name) {
+  std::string msg = "unknown policy: " + name + " (known: ";
+  bool first = true;
+  for (const std::string& known : policy_names()) {
+    if (!first) msg += ", ";
+    msg += known;
+    first = false;
+  }
+  throw std::invalid_argument(msg + ")");
+}
+
+}  // namespace
 
 bool is_single_tier(const std::string& name) {
   return name.rfind("dram-only", 0) == 0 || name.rfind("nvm-only", 0) == 0;
@@ -24,7 +42,8 @@ bool is_single_tier(const std::string& name) {
 
 std::unique_ptr<policy::HybridPolicy> make_policy(
     const std::string& name, os::Vmm& vmm,
-    const core::MigrationConfig& migration) {
+    const core::MigrationConfig& migration,
+    const sample::SampleConfig& sample) {
   if (is_single_tier(name)) {
     const bool dram = name.rfind("dram-only", 0) == 0;
     const Tier tier = dram ? Tier::kDram : Tier::kNvm;
@@ -32,7 +51,7 @@ std::unique_ptr<policy::HybridPolicy> make_policy(
     std::string repl = "lru";
     if (name.size() > base.size()) {
       if (name[base.size()] != ':') {
-        throw std::invalid_argument("unknown policy: " + name);
+        throw_unknown_policy(name);
       }
       repl = name.substr(base.size() + 1);
     }
@@ -58,7 +77,10 @@ std::unique_ptr<policy::HybridPolicy> make_policy(
   if (name == "rank-mq") {
     return std::make_unique<policy::RankMqPolicy>(vmm);
   }
-  throw std::invalid_argument("unknown policy: " + name);
+  if (name == "sampled-lru") {
+    return std::make_unique<sample::SampledLruPolicy>(vmm, sample);
+  }
+  throw_unknown_policy(name);
 }
 
 }  // namespace hymem::sim

@@ -11,6 +11,7 @@
 //   "two-lru-adaptive"   proposed scheme + adaptive thresholds (extension)
 //   "static-partition"   hash-partitioned hybrid, no migrations (ablation)
 //   "dram-cache"         promote-on-touch DRAM cache over NVM (related work)
+//   "sampled-lru"        sampled hotness + async bounded migrator (src/sample)
 #pragma once
 
 #include <memory>
@@ -19,6 +20,7 @@
 
 #include "core/migration_config.hpp"
 #include "policy/hybrid_policy.hpp"
+#include "sample/config.hpp"
 
 namespace hymem::sim {
 
@@ -29,10 +31,12 @@ std::vector<std::string> policy_names();
 bool is_single_tier(const std::string& name);
 
 /// Builds a policy. The VMM must be sized consistently (single-module
-/// policies need the other module at zero frames). Throws
-/// std::invalid_argument for unknown names.
+/// policies need the other module at zero frames). `sample` configures the
+/// "sampled-lru" policy and is ignored by every other name. Throws
+/// std::invalid_argument for unknown names, listing the known ones.
 std::unique_ptr<policy::HybridPolicy> make_policy(
     const std::string& name, os::Vmm& vmm,
-    const core::MigrationConfig& migration = {});
+    const core::MigrationConfig& migration = {},
+    const sample::SampleConfig& sample = {});
 
 }  // namespace hymem::sim

@@ -1,0 +1,86 @@
+// Fixed-capacity lock-free single-producer/single-consumer ring buffer —
+// the channel between the sampling tap (producer: the thread replaying
+// accesses) and the background migrator (consumer: the migrator thread in
+// threaded mode, or the same thread at virtual-time drain boundaries).
+//
+// The design is the classic two-cursor SPSC queue (HeMem's pebs rings use
+// the same shape): monotonically increasing head/tail cursors, a
+// power-of-two slot array indexed by masking, and exactly one
+// acquire/release pair per operation. push() is wait-free for the single
+// producer, pop() for the single consumer; a full ring rejects the push
+// (callers count the drop — samples are droppable by design, migrations
+// just happen later). Cursors live on separate cache lines so the producer
+// and consumer never false-share.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hymem::util {
+
+/// SPSC ring over T (movable; trivially copyable in all hymem uses).
+/// Exactly one thread may call push() and exactly one thread may call
+/// pop(); size() and empty() are safe from either side but only
+/// approximate when both sides are live.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (masked indexing); the
+  /// effective value is reported by capacity().
+  explicit SpscRing(std::size_t min_capacity) {
+    HYMEM_CHECK_MSG(min_capacity > 0, "ring capacity must be positive");
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side: enqueues `value` unless the ring is full. Returns
+  /// whether the value was accepted.
+  bool push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) return false;
+    slots_[static_cast<std::size_t>(tail) & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: dequeues the oldest value, or nullopt when empty.
+  std::optional<T> pop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    std::optional<T> value(std::move(slots_[static_cast<std::size_t>(head) & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Occupancy. Exact when only one side is live (virtual-time mode);
+  /// a conservative snapshot when producer and consumer race.
+  std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Consumer cursor; on its own cache line so pop() never invalidates the
+  /// producer's line and vice versa.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace hymem::util

@@ -1,0 +1,46 @@
+// Fuzz smoke for the sampled-hotness policy: seed-derived scenarios with
+// per-access invariant auditing plus the double-replay determinism oracle
+// (see check/sampled_invariants.hpp). The nightly sweep lives in
+// test_sampled_fuzz_long.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "check/sampled_invariants.hpp"
+
+namespace hymem::check {
+namespace {
+
+std::uint64_t seed_count(std::uint64_t fallback) {
+  const char* env = std::getenv("HYMEM_FUZZ_SEEDS");
+  if (env == nullptr) return fallback;
+  const long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<std::uint64_t>(parsed) : fallback;
+}
+
+TEST(SampledFuzz, SeedsHoldInvariantsAndReplayDeterministically) {
+  const std::uint64_t seeds = seed_count(8);
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = 0x9e3779b97f4a7c15ull + i;
+    try {
+      const SampledFuzzOutcome out = run_sampled_fuzz_case(seed, 3000);
+      EXPECT_GT(out.accesses, 0u) << out.describe;
+      EXPECT_EQ(out.dram_resident + out.nvm_resident > 0u, true)
+          << out.describe;
+    } catch (const std::logic_error& e) {
+      FAIL() << "seed " << seed << ": " << e.what();
+    }
+  }
+}
+
+TEST(SampledFuzz, TunablesVaryAcrossSeeds) {
+  // The config derivation must actually explore the space, or the fuzz
+  // coverage silently collapses to one shape.
+  const SampledFuzzOutcome a = run_sampled_fuzz_case(1, 300);
+  const SampledFuzzOutcome b = run_sampled_fuzz_case(2, 300);
+  EXPECT_NE(a.describe, b.describe);
+}
+
+}  // namespace
+}  // namespace hymem::check

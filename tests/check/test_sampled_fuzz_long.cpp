@@ -1,0 +1,36 @@
+// Long sampled-policy fuzz sweep (nightly CI; ctest -L fuzz). Same oracle
+// as test_sampled_fuzz.cpp — per-access invariants + double-replay
+// determinism — over a wider seed range and longer traces.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "check/sampled_invariants.hpp"
+
+namespace hymem::check {
+namespace {
+
+std::uint64_t seed_count(std::uint64_t fallback) {
+  const char* env = std::getenv("HYMEM_FUZZ_SEEDS");
+  if (env == nullptr) return fallback;
+  const long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<std::uint64_t>(parsed) : fallback;
+}
+
+TEST(SampledFuzzLong, SweepRunsClean) {
+  const std::uint64_t seeds = seed_count(32);
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = 0xdeadbeef00000000ull + i;
+    try {
+      const SampledFuzzOutcome out = run_sampled_fuzz_case(seed, 10000);
+      EXPECT_GT(out.accesses, 0u) << out.describe;
+    } catch (const std::logic_error& e) {
+      FAIL() << "seed " << seed << ": " << e.what();
+      break;  // one full report is enough to act on
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hymem::check

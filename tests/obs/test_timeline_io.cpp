@@ -27,6 +27,9 @@ EpochRecord sample_record() {
   r.read_threshold = 6;
   r.promotions = 7;
   r.amat_total_ns = 123.5;
+  r.samples = 42;
+  r.sampled_promotions = 9;
+  r.migration_backlog = 5;
   return r;
 }
 
@@ -62,7 +65,16 @@ TEST(TimelineIo, GoldenHeader) {
       "throttled_promotions",
       "amat_total_ns",
       "appr_total_nj",
-      "mean_visible_latency_ns"};
+      "mean_visible_latency_ns",
+      "samples",
+      "sample_drops",
+      "coolings",
+      "sampled_promotions",
+      "sampled_demotions",
+      "sampled_stale",
+      "migration_backlog",
+      "hot_ring_hwm",
+      "cold_ring_hwm"};
   EXPECT_EQ(timeline_csv_header(), expected);
 }
 
@@ -103,6 +115,23 @@ TEST(TimelineIo, WindowMeanUsesPopulationNotTarget) {
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (header[i] == "read_counter_mean") {
       EXPECT_EQ(fields[i], "3");
+    }
+  }
+}
+
+TEST(TimelineIo, SampledColumnsCarryRecordValues) {
+  const auto fields = timeline_csv_fields(sample_record());
+  const auto& header = timeline_csv_header();
+  ASSERT_EQ(fields.size(), header.size());
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "samples") {
+      EXPECT_EQ(fields[i], "42");
+    } else if (header[i] == "sampled_promotions") {
+      EXPECT_EQ(fields[i], "9");
+    } else if (header[i] == "migration_backlog") {
+      EXPECT_EQ(fields[i], "5");
+    } else if (header[i] == "sample_drops") {
+      EXPECT_EQ(fields[i], "0");
     }
   }
 }

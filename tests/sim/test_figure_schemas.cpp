@@ -24,9 +24,10 @@ TEST(FigureSchemas, RegistryCoversEveryPaperFigure) {
                                         "fig4a", "fig4b", "fig4c"}));
   std::set<std::string> tables;
   for (const auto& s : table_schemas()) tables.insert(s.id);
-  // "timeline" is not a paper artifact but rides in the same registry so
-  // its column list is pinned the same way (see tests/obs).
-  EXPECT_EQ(tables, (std::set<std::string>{"table1", "table3", "timeline"}));
+  // "timeline" and "sampled-frontier" are not paper artifacts but ride in
+  // the same registry so their column lists are pinned the same way.
+  EXPECT_EQ(tables, (std::set<std::string>{"table1", "table3", "timeline",
+                                           "sampled-frontier"}));
 }
 
 TEST(FigureSchemas, LookupReturnsTheRegisteredEntryOrThrows) {
@@ -93,6 +94,17 @@ TEST(FigureSchemas, GoldenTable3Columns) {
   EXPECT_EQ(table_schema("table3").columns,
             (Header{"Workload", "Working Set (KB)", "# Reads", "# Writes",
                     "read %", "write %", "write-dominant pages"}));
+}
+
+// bench_sampled_frontier's export: the accuracy-vs-overhead frontier of
+// the sampled-hotness policy against the omniscient baselines.
+TEST(FigureSchemas, GoldenSampledFrontierColumns) {
+  EXPECT_EQ(table_schema("sampled-frontier").columns,
+            (Header{"workload", "policy", "variant", "sample_period",
+                    "ring_capacity", "migration_budget", "drain_period",
+                    "amat_total_ns", "amat_vs_two_lru", "appr_total_nj",
+                    "nvm_writes_total", "promotions", "demotions",
+                    "sample_drops", "migration_backlog"}));
 }
 
 // The flat RunResult CSV projection the sweep runner splices into its

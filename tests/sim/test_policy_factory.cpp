@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/migration_scheme.hpp"
+#include "sample/sampled_policy.hpp"
 
 namespace hymem::sim {
 namespace {
@@ -79,6 +80,48 @@ TEST(PolicyFactory, UnknownNamesRejected) {
   EXPECT_THROW(make_policy("dram-onlyx", vmm), std::invalid_argument);
   os::Vmm vmm2(config_for("dram-only"));
   EXPECT_THROW(make_policy("dram-only:bogus", vmm2), std::invalid_argument);
+}
+
+// The error message must enumerate every registered name, so a typo'd
+// --policy flag tells the user what would have worked.
+TEST(PolicyFactory, UnknownNameErrorEnumeratesPolicies) {
+  os::Vmm vmm(config_for("two-lru"));
+  try {
+    make_policy("nope", vmm);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const auto& name : policy_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
+    }
+    EXPECT_NE(msg.find("sampled-lru"), std::string::npos);
+  }
+}
+
+TEST(PolicyFactory, UnknownReplacementErrorEnumeratesReplacements) {
+  os::Vmm vmm(config_for("dram-only"));
+  try {
+    make_policy("dram-only:bogus", vmm);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const char* name : {"lru", "fifo", "clock"}) {
+      EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
+    }
+  }
+}
+
+TEST(PolicyFactory, SampledLruForwardsSampleConfig) {
+  os::Vmm vmm(config_for("sampled-lru"));
+  sample::SampleConfig scfg;
+  scfg.sample_period = 3;
+  scfg.migration_budget = 7;
+  const auto policy = make_policy("sampled-lru", vmm, {}, scfg);
+  const auto* sampled =
+      dynamic_cast<sample::SampledLruPolicy*>(policy.get());
+  ASSERT_NE(sampled, nullptr);
+  EXPECT_EQ(sampled->config().sample_period, 3u);
+  EXPECT_EQ(sampled->config().migration_budget, 7u);
 }
 
 }  // namespace
