@@ -16,14 +16,33 @@
 //               stays uninstrumented.
 //   --epoch N   timeline epoch length in accesses (default 1024; only
 //               meaningful with --timeline).
+//   --chunk-accesses N
+//               replay through the block engine in N-access blocks instead
+//               of the one-access-at-a-time reference loop. Results are
+//               byte-identical for every N; 0 (default) keeps the
+//               historical path.
+//   --shards K  workers inside each single run (default 1). With
+//               --shard-mode exact (default), K stripes the decode stage
+//               and output stays byte-identical for any K; with
+//               --shard-mode partitioned, pages are hash-split across K
+//               policy instances with proportional budgets (deterministic
+//               per K, but an approximation of the global policy).
+//   --shard-mode exact|partitioned
+//
+// Unknown flags are rejected: every harness parses through util::cli and
+// errors out listing the full flag set, so a typo ("--job 4") fails loudly
+// instead of silently running the default configuration.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "runner/sharded.hpp"
 #include "runner/sweep.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
@@ -40,11 +59,62 @@ struct BenchContext {
   unsigned jobs = 1;  ///< Sweep worker threads.
   std::string timeline;  ///< --timeline PATH; empty = sampling off.
   std::uint64_t timeline_epoch = 1024;  ///< --epoch N.
+  std::uint64_t chunk_accesses = 0;  ///< --chunk-accesses N; 0 = reference.
+  unsigned shards = 1;               ///< --shards K inside each run.
+  sim::ShardMode shard_mode = sim::ShardMode::kExact;
 };
 
-inline BenchContext parse_args(int argc, char** argv,
-                               std::uint64_t default_scale = 64) {
+/// The flags every harness accepts, with one-line help.
+inline const std::vector<std::pair<std::string, std::string>>&
+common_flag_help() {
+  static const std::vector<std::pair<std::string, std::string>> help = {
+      {"scale", "divide Table III access counts by N (default harness-set)"},
+      {"seed", "generator seed (default 42)"},
+      {"jobs", "sweep worker threads (default: hardware concurrency)"},
+      {"csv", "also dump the table as CSV to stdout"},
+      {"timeline", "write the spliced epoch time-series CSV to PATH"},
+      {"epoch", "timeline epoch length in accesses (default 1024)"},
+      {"chunk-accesses",
+       "block-engine replay in N-access blocks (0 = reference loop)"},
+      {"shards", "workers inside each run (default 1)"},
+      {"shard-mode", "exact (byte-identical) or partitioned (approximate)"},
+  };
+  return help;
+}
+
+/// Exits with the full flag list when argv contains a flag outside the
+/// common set plus `extra_flags` (harness-specific additions like --json).
+inline void reject_unknown_flags(const CliArgs& args,
+                                 const std::vector<std::string>& extra_flags) {
+  std::vector<std::string> unknown;
+  for (const std::string& name : args.flag_names()) {
+    bool known = false;
+    for (const auto& [flag, help] : common_flag_help()) {
+      if (name == flag) known = true;
+    }
+    for (const std::string& flag : extra_flags) {
+      if (name == flag) known = true;
+    }
+    if (!known) unknown.push_back(name);
+  }
+  if (unknown.empty()) return;
+  std::cerr << args.program() << ": unknown flag";
+  for (const std::string& name : unknown) std::cerr << " --" << name;
+  std::cerr << "\n\nAccepted flags:\n";
+  for (const auto& [flag, help] : common_flag_help()) {
+    std::cerr << "  --" << flag << "  " << help << "\n";
+  }
+  for (const std::string& flag : extra_flags) {
+    std::cerr << "  --" << flag << "  (harness-specific)\n";
+  }
+  std::exit(2);
+}
+
+inline BenchContext parse_args(
+    int argc, char** argv, std::uint64_t default_scale = 64,
+    const std::vector<std::string>& extra_flags = {}) {
   const CliArgs args(argc, argv);
+  reject_unknown_flags(args, extra_flags);
   BenchContext ctx;
   ctx.scale = args.get_uint("scale", default_scale);
   ctx.seed = args.get_uint("seed", 42);
@@ -53,17 +123,42 @@ inline BenchContext parse_args(int argc, char** argv,
       args.get_uint("jobs", runner::ThreadPool::default_threads()));
   ctx.timeline = args.get("timeline");
   ctx.timeline_epoch = args.get_uint("epoch", 1024);
+  ctx.chunk_accesses = args.get_uint("chunk-accesses", 0);
+  ctx.shards = static_cast<unsigned>(args.get_uint("shards", 1));
+  const std::string mode = args.get("shard-mode", "exact");
+  if (mode == "exact") {
+    ctx.shard_mode = sim::ShardMode::kExact;
+  } else if (mode == "partitioned") {
+    ctx.shard_mode = sim::ShardMode::kPartitioned;
+  } else {
+    std::cerr << args.program()
+              << ": --shard-mode must be 'exact' or 'partitioned', got '"
+              << mode << "'\n";
+    std::exit(2);
+  }
   return ctx;
 }
 
+/// Applies the context's engine knobs (block size, shards, mode) to one
+/// experiment config.
+inline void apply_engine(sim::ExperimentConfig& config,
+                         const BenchContext& ctx) {
+  config.chunk_accesses = ctx.chunk_accesses;
+  config.shards = ctx.shards;
+  config.shard_mode = ctx.shard_mode;
+}
+
 /// Turns on epoch sampling in every grid cell when the harness was run with
-/// --timeline. Materializes the implicit default variant so the override
-/// has a config to land on.
-inline void apply_timeline(runner::SweepSpec& spec, const BenchContext& ctx) {
-  if (ctx.timeline.empty()) return;
+/// --timeline, and threads the engine knobs through every variant.
+/// Materializes the implicit default variant so the overrides have a config
+/// to land on.
+inline void apply_overrides(runner::SweepSpec& spec, const BenchContext& ctx) {
   if (spec.variants.empty()) spec.variants.emplace_back();
   for (auto& variant : spec.variants) {
-    variant.config.timeline_epoch = ctx.timeline_epoch;
+    if (!ctx.timeline.empty()) {
+      variant.config.timeline_epoch = ctx.timeline_epoch;
+    }
+    apply_engine(variant.config, ctx);
   }
 }
 
@@ -96,7 +191,8 @@ inline sim::RunResult run(const synth::WorkloadProfile& profile,
                           const std::string& policy, const BenchContext& ctx,
                           sim::ExperimentConfig config = {}) {
   config.policy = policy;
-  return sim::run_workload(profile, ctx.scale, config, ctx.seed);
+  apply_engine(config, ctx);
+  return runner::run_workload_dispatch(profile, ctx.scale, config, ctx.seed);
 }
 
 /// Runs a (workload × policy × variant) grid through the sweep runner on
@@ -115,7 +211,7 @@ inline runner::SweepResults run_grid(
   spec.scale = ctx.scale;
   spec.base_seed = ctx.seed;
   spec.seed_mode = seed_mode;
-  apply_timeline(spec, ctx);
+  apply_overrides(spec, ctx);
   runner::SweepOptions options;
   options.jobs = ctx.jobs;
   options.progress = runner::stderr_progress();

@@ -14,7 +14,7 @@
 using namespace hymem;
 
 int main(int argc, char** argv) {
-  const auto ctx = bench::parse_args(argc, argv);
+  const auto ctx = bench::parse_args(argc, argv, 64, {"json"});
   const CliArgs args(argc, argv);
   const bool json = args.get_bool("json", false);
   bench::print_header("Policy x workload matrix", ctx);

@@ -3,6 +3,8 @@
 // hierarchy, the trace generator and the end-to-end simulator.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "cachesim/hierarchy.hpp"
 #include "core/migration_scheme.hpp"
 #include "core/nvm_queue.hpp"
@@ -10,9 +12,12 @@
 #include "os/vmm.hpp"
 #include "policy/factory.hpp"
 #include "sim/experiment.hpp"
+#include "sim/engine.hpp"
 #include "sim/policy_factory.hpp"
 #include "synth/cpu_stream.hpp"
 #include "synth/generator.hpp"
+#include "trace/block_source.hpp"
+#include "trace/stream_io.hpp"
 #include "trace/trace_stats.hpp"
 #include "util/random.hpp"
 #include "util/zipf.hpp"
@@ -113,52 +118,69 @@ void BM_EndToEndSimulation(benchmark::State& state,
   state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
 }
 
+// Shared fixture of the replay benchmarks: the dedup/4 trace (a ~32k-page
+// footprint, so the page table and policy indexes see realistic cache
+// pressure instead of fitting in L1) plus its Section V.A memory shape.
+struct ReplayFixture {
+  trace::Trace trace;
+  os::VmmConfig vmm_config;
+  double roi_seconds = 0;
+  sim::ExperimentConfig config;
+};
+
+ReplayFixture make_replay_fixture(const std::string& policy) {
+  ReplayFixture fx;
+  const auto profile = synth::parsec_profile("dedup").scaled(4);
+  synth::GeneratorOptions options;
+  options.seed = 42;
+  fx.trace = synth::generate(profile, options);
+  fx.roi_seconds = profile.roi_seconds;
+  fx.config.policy = policy;
+  trace::TraceCharacterizer characterizer(fx.config.page_size);
+  characterizer.observe(fx.trace);
+  const sim::MemorySizing sizing =
+      sim::size_memory(characterizer.stats().distinct_pages, fx.config);
+  fx.vmm_config.dram_frames = sizing.dram_frames;
+  fx.vmm_config.nvm_frames = sizing.nvm_frames;
+  fx.vmm_config.page_size = fx.config.page_size;
+  fx.vmm_config.access_granularity = fx.config.access_granularity;
+  fx.vmm_config.dram = fx.config.dram;
+  fx.vmm_config.nvm = fx.config.nvm;
+  fx.vmm_config.disk = fx.config.disk;
+  fx.vmm_config.transfer_mode = fx.config.transfer_mode;
+  fx.vmm_config.wear_leveling = fx.config.wear_leveling;
+  return fx;
+}
+
 // Replay throughput of the simulation core proper: the trace is generated
 // and characterized once outside the timing loop, so items/second is
 // on_access ops/sec of sim::run_trace (one warmup pass + the measured pass),
-// the number every figure and sweep cell is built from. The dedup/4 profile
-// gives a ~32k-page footprint, so the page table and policy indexes see
-// realistic cache pressure instead of fitting in L1.
+// the number every figure and sweep cell is built from.
 //
 // `timeline_epoch` nonzero attaches an obs::EpochSampler with that epoch
 // length, so the `_timeline` captures measure the instrumentation-on cost
 // against their plain counterparts.
 void BM_RunTrace(benchmark::State& state, const std::string& policy,
                  std::uint64_t timeline_epoch = 0) {
-  const auto profile = synth::parsec_profile("dedup").scaled(4);
-  synth::GeneratorOptions options;
-  options.seed = 42;
-  const trace::Trace trace = synth::generate(profile, options);
-  sim::ExperimentConfig config;
-  config.policy = policy;
-  trace::TraceCharacterizer characterizer(config.page_size);
-  characterizer.observe(trace);
-  const sim::MemorySizing sizing =
-      sim::size_memory(characterizer.stats().distinct_pages, config);
-  os::VmmConfig vmm_config;
-  vmm_config.dram_frames = sizing.dram_frames;
-  vmm_config.nvm_frames = sizing.nvm_frames;
-  vmm_config.page_size = config.page_size;
-  vmm_config.access_granularity = config.access_granularity;
-  vmm_config.dram = config.dram;
-  vmm_config.nvm = config.nvm;
-  vmm_config.disk = config.disk;
-  vmm_config.transfer_mode = config.transfer_mode;
-  vmm_config.wear_leveling = config.wear_leveling;
+  const ReplayFixture fx = make_replay_fixture(policy);
+  const trace::Trace& trace = fx.trace;
+  const auto& profile_roi = fx.roi_seconds;
+  const sim::ExperimentConfig& config = fx.config;
+  const os::VmmConfig& vmm_config = fx.vmm_config;
   std::uint64_t replayed = 0;
   for (auto _ : state) {
     os::Vmm vmm(vmm_config);
     const auto impl = sim::make_policy(policy, vmm, config.migration);
     if (timeline_epoch == 0) {
-      const auto result = sim::run_trace(*impl, trace, profile.roi_seconds,
+      const auto result = sim::run_trace(*impl, trace, profile_roi,
                                          /*warmup_passes=*/1);
       benchmark::DoNotOptimize(result.accesses);
     } else {
       const auto* scheme =
           dynamic_cast<const core::TwoLruMigrationPolicy*>(impl.get());
       obs::EpochSampler sampler(timeline_epoch, vmm, scheme,
-                                profile.roi_seconds);
-      const auto result = sim::run_trace(*impl, trace, profile.roi_seconds,
+                                profile_roi);
+      const auto result = sim::run_trace(*impl, trace, profile_roi,
                                          /*warmup_passes=*/1, &sampler);
       benchmark::DoNotOptimize(result.accesses);
       const obs::Timeline timeline = sampler.take_timeline();
@@ -178,7 +200,62 @@ BENCHMARK(BM_CacheHierarchy);
 BENCHMARK(BM_TraceGenerator);
 BENCHMARK_CAPTURE(BM_EndToEndSimulation, two_lru, "two-lru");
 BENCHMARK_CAPTURE(BM_EndToEndSimulation, clock_dwf, "clock-dwf");
+// Streamed replay throughput: the same trace, memory shape and pass
+// structure as BM_RunTrace (one warmup pass + one measured pass), but
+// through the block engine — a TraceBlockSource decodes the trace once at
+// construction (outside the timing loop, like production multi-pass use)
+// and sim::run_blocks serves `chunk`-access blocks through the policy's
+// on_block fast path. Interleave this against BM_RunTrace/two_lru
+// (--benchmark_enable_random_interleaving) for the speedup ratio.
+void BM_RunTraceStreamed(benchmark::State& state, const std::string& policy,
+                         std::size_t chunk) {
+  const ReplayFixture fx = make_replay_fixture(policy);
+  trace::TraceBlockSource source(fx.trace, fx.config.page_size, chunk);
+  std::uint64_t replayed = 0;
+  for (auto _ : state) {
+    os::Vmm vmm(fx.vmm_config);
+    const auto impl = sim::make_policy(policy, vmm, fx.config.migration);
+    source.rewind();
+    const auto result =
+        sim::run_blocks(*impl, source, fx.roi_seconds, /*warmup_passes=*/1);
+    benchmark::DoNotOptimize(result.accesses);
+    replayed += 2 * fx.trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(replayed));
+}
+
+// Streamed replay from the chunked HYTS byte format: O(chunk) memory, with
+// the readahead producer decoding block N+1 while the policy replays block
+// N. Measures the full capture-to-replay path a too-big-to-materialize
+// trace takes.
+void BM_RunTraceStreamedIo(benchmark::State& state, const std::string& policy,
+                           std::size_t chunk) {
+  const ReplayFixture fx = make_replay_fixture(policy);
+  std::stringstream bytes;
+  {
+    trace::StreamTraceWriter writer(bytes, fx.trace.name(), chunk);
+    for (const auto& access : fx.trace.accesses()) writer.append(access);
+    writer.finish();
+  }
+  std::uint64_t replayed = 0;
+  for (auto _ : state) {
+    os::Vmm vmm(fx.vmm_config);
+    const auto impl = sim::make_policy(policy, vmm, fx.config.migration);
+    bytes.clear();
+    bytes.seekg(0);
+    trace::StreamBlockSource source(bytes, fx.config.page_size, chunk,
+                                    /*readahead=*/true);
+    const auto result =
+        sim::run_blocks(*impl, source, fx.roi_seconds, /*warmup_passes=*/1);
+    benchmark::DoNotOptimize(result.accesses);
+    replayed += 2 * fx.trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(replayed));
+}
+
 BENCHMARK_CAPTURE(BM_RunTrace, two_lru, "two-lru");
+BENCHMARK_CAPTURE(BM_RunTraceStreamed, two_lru, "two-lru", 4096u);
+BENCHMARK_CAPTURE(BM_RunTraceStreamedIo, two_lru, "two-lru", 16384u);
 BENCHMARK_CAPTURE(BM_RunTrace, two_lru_adaptive, "two-lru-adaptive");
 BENCHMARK_CAPTURE(BM_RunTrace, clock_dwf, "clock-dwf");
 BENCHMARK_CAPTURE(BM_RunTrace, dram_only, "dram-only");

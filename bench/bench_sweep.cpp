@@ -20,7 +20,7 @@
 using namespace hymem;
 
 int main(int argc, char** argv) {
-  const auto ctx = bench::parse_args(argc, argv);
+  const auto ctx = bench::parse_args(argc, argv, 64, {"json"});
   const CliArgs args(argc, argv);
   const bool json = args.get_bool("json", false);
 
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   // kShared: each workload's trace is generated from the same seed under
   // every policy, reproducing the paper's fair-comparison methodology.
   spec.seed_mode = runner::SeedMode::kShared;
-  bench::apply_timeline(spec, ctx);
+  bench::apply_overrides(spec, ctx);
 
   runner::SweepOptions options;
   options.jobs = ctx.jobs;

@@ -22,7 +22,8 @@
 using namespace hymem;
 
 int main(int argc, char** argv) {
-  auto ctx = bench::parse_args(argc, argv);
+  auto ctx = bench::parse_args(argc, argv, 64,
+                               {"json", "workload", "policy"});
   const CliArgs args(argc, argv);
   const bool json = args.get_bool("json", false);
 

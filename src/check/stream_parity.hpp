@@ -1,0 +1,49 @@
+// Stream-parity harness: the streaming/block replay engines vs the serial
+// reference engine.
+//
+// The block engine (sim::run_blocks) promises byte-identical results to the
+// one-access-at-a-time reference loop (sim::run_trace) for every ingest
+// mode: decode-once blocks of any size, striped decode on any worker count,
+// and the O(chunk) double-buffered stream of the HYTS format with readahead
+// on or off. run_stream_parity() pins that promise the same way the
+// differential harness pins the oracle: replay one trace through every
+// mode and diff the complete serialized RunResult (counts, latencies,
+// derived Eq. 1/2/3 metrics) against the reference.
+//
+// run_stream_parity_case() wraps it for fuzzing: the trace and memory shape
+// derive from a seed through the same check/fuzzer scenarios that feed the
+// differential harness, so the hostile shapes (thrash loops, write bursts,
+// capacity-1 modules) exercise the streaming seam too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/fuzzer.hpp"
+#include "trace/trace.hpp"
+
+namespace hymem::check {
+
+/// Outcome of one parity sweep over every ingest mode.
+struct StreamParityResult {
+  std::uint64_t accesses = 0;
+  /// Name of the first diverging mode plus the field-level diff context;
+  /// empty when every mode reproduced the reference bytes.
+  std::string divergence;
+
+  bool ok() const { return divergence.empty(); }
+};
+
+/// Replays `fc.trace` on `fc`'s memory shape through the reference engine
+/// and through each block/stream ingest mode with `block_accesses`-sized
+/// blocks, diffing full serialized results.
+StreamParityResult run_stream_parity(const FuzzCase& fc,
+                                     std::size_t block_accesses);
+
+/// One fuzz iteration: derive the scenario for `seed`, sweep every mode.
+/// The block size also derives from the seed (1 to ~accesses, covering the
+/// degenerate one-access blocks and the whole-trace block).
+StreamParityResult run_stream_parity_case(std::uint64_t seed,
+                                          std::size_t accesses);
+
+}  // namespace hymem::check

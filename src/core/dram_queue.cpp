@@ -14,8 +14,7 @@ void DramLruQueue::on_hit(PageId page) {
   Node* const* found = index_.find(page);
   HYMEM_CHECK_MSG(found != nullptr, "hit on untracked page");
   Node* node = *found;
-  list_.move_to_front(*node);
-  if (node->promoted) ++node->hits;
+  on_hit_node(*node);
 }
 
 void DramLruQueue::insert(PageId page, bool promoted) {
@@ -24,8 +23,7 @@ void DramLruQueue::insert(PageId page, bool promoted) {
   HYMEM_CHECK_MSG(inserted, "insert of tracked page");
   Node* node = pool_.allocate();
   node->page = page;
-  node->hits = 0;
-  node->promoted = promoted;
+  node->score = promoted ? Node::kPromotedBit : 0;
   *slot = node;
   list_.push_front(*node);
 }
@@ -41,7 +39,8 @@ std::optional<std::uint64_t> DramLruQueue::erase(PageId page) {
   HYMEM_CHECK_MSG(found.has_value(), "erase of untracked page");
   Node* node = *found;
   const std::optional<std::uint64_t> score =
-      node->promoted ? std::optional<std::uint64_t>(node->hits) : std::nullopt;
+      node->promoted() ? std::optional<std::uint64_t>(node->hits())
+                       : std::nullopt;
   list_.erase(*node);
   pool_.release(node);
   return score;
@@ -49,8 +48,8 @@ std::optional<std::uint64_t> DramLruQueue::erase(PageId page) {
 
 std::optional<std::uint64_t> DramLruQueue::promotion_hits(PageId page) const {
   Node* const* found = index_.find(page);
-  if (found == nullptr || !(*found)->promoted) return std::nullopt;
-  return (*found)->hits;
+  if (found == nullptr || !(*found)->promoted()) return std::nullopt;
+  return (*found)->hits();
 }
 
 }  // namespace hymem::core

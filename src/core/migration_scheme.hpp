@@ -35,6 +35,13 @@ class TwoLruMigrationPolicy final : public policy::HybridPolicy {
     return config_.adaptive ? "two-lru-adaptive" : "two-lru";
   }
   Nanoseconds on_access(PageId page, AccessType type) override;
+  /// Block-batched replay path: same decisions as on_access in sequence
+  /// (the stream-vs-materialized differential pins this), restructured
+  /// around two batch-only facts — a read's residency/tier classification
+  /// needs only the policy's own queue indexes (one probe instead of two),
+  /// and same-page runs can serve from a cached node cursor with no probe
+  /// at all. Every probe reuses the decode-time memoized page hash.
+  Nanoseconds on_block(const policy::AccessBlock& block) override;
   void prefetch(PageId page) const override {
     vmm_.prefetch_translation(page);
     dram_.prefetch(page);

@@ -13,9 +13,9 @@ CountedLruQueue::CountedLruQueue(std::size_t capacity, double read_perc,
   HYMEM_CHECK_MSG(capacity > 0, "queue capacity must be positive");
   index_.reserve(capacity);
   read_win_ = Window{util::snap_ceil_fraction(read_perc, capacity), 0, nullptr,
-                     0, &Node::in_read, &Node::read_ctr};
+                     0, /*idx=*/0};
   write_win_ = Window{util::snap_ceil_fraction(write_perc, capacity), 0,
-                      nullptr, 0, &Node::in_write, &Node::write_ctr};
+                      nullptr, 0, /*idx=*/1};
 }
 
 CountedLruQueue::Node* CountedLruQueue::find(PageId page) const {
@@ -23,39 +23,13 @@ CountedLruQueue::Node* CountedLruQueue::find(PageId page) const {
   return found == nullptr ? nullptr : *found;
 }
 
-void CountedLruQueue::enter_front(Window& w, Node& node) {
-  if (w.target == 0) return;
-  if (node.*(w.flag)) {
-    // Already a member: membership is unchanged; only the boundary can
-    // shift if the boundary node itself is moving to the front.
-    if (w.boundary == &node && w.count > 1) {
-      w.boundary = list_.prev(node);
-    }
-    return;
-  }
-  if (w.count >= w.target) {
-    // Window is full: the current boundary page drops out and its counter
-    // resets (Algorithm 1 lines 8-9).
-    Node* leaver = w.boundary;
-    leaver->*(w.flag) = false;
-    w.sum -= leaver->*(w.ctr);
-    leaver->*(w.ctr) = 0;
-    w.boundary = w.count > 1 ? list_.prev(*leaver) : nullptr;
-  } else {
-    ++w.count;
-  }
-  node.*(w.flag) = true;
-  if (w.boundary == nullptr) w.boundary = &node;
-}
-
 void CountedLruQueue::leave(Window& w, Node& node) {
-  if (!(node.*(w.flag))) return;
+  if (!node.in_window(w.idx)) return;
   if (w.boundary == &node) {
     w.boundary = w.count > 1 ? list_.prev(node) : nullptr;
   }
-  node.*(w.flag) = false;
-  w.sum -= node.*(w.ctr);
-  node.*(w.ctr) = 0;
+  w.sum -= node.counter(w.idx);
+  node.packed[w.idx] = 0;
   --w.count;
 }
 
@@ -63,8 +37,7 @@ void CountedLruQueue::refill(Window& w) {
   while (w.count < std::min(w.target, list_.size())) {
     Node* next = w.boundary ? list_.next(*w.boundary) : list_.front();
     if (next == nullptr) break;
-    next->*(w.flag) = true;
-    next->*(w.ctr) = 0;
+    next->packed[w.idx] = Node::kInWindowBit;
     w.boundary = next;
     ++w.count;
   }
@@ -73,23 +46,7 @@ void CountedLruQueue::refill(Window& w) {
 std::uint64_t CountedLruQueue::record_hit(PageId page, AccessType type) {
   Node* node = find(page);
   HYMEM_CHECK_MSG(node != nullptr, "hit on untracked page");
-  const bool is_read = type == AccessType::kRead;
-  const bool was_in = is_read ? node->in_read : node->in_write;
-
-  enter_front(read_win_, *node);
-  enter_front(write_win_, *node);
-  list_.move_to_front(*node);
-
-  // Algorithm 1 lines 10-22: increment inside the window, restart at 1 when
-  // (re-)entering from outside. A zero-width window tracks nothing.
-  const bool now_in = is_read ? node->in_read : node->in_write;
-  std::uint64_t& ctr = is_read ? node->read_ctr : node->write_ctr;
-  const std::uint64_t before = ctr;
-  ctr = now_in ? (was_in ? ctr + 1 : 1) : 0;
-  // The new value never drops below the old one here (resets happen in
-  // enter_front/leave, which already debit the sum).
-  (is_read ? read_win_ : write_win_).sum += ctr - before;
-  return ctr;
+  return record_hit_node(*node, type);
 }
 
 void CountedLruQueue::insert_front(PageId page) {
@@ -98,6 +55,8 @@ void CountedLruQueue::insert_front(PageId page) {
   HYMEM_CHECK_MSG(inserted, "insert of tracked page");
   Node* node = pool_.allocate();
   node->page = page;
+  node->packed[0] = 0;
+  node->packed[1] = 0;
   *slot = node;
   enter_front(read_win_, *node);
   enter_front(write_win_, *node);
@@ -134,25 +93,25 @@ std::optional<PageId> CountedLruQueue::lru_victim() const {
 bool CountedLruQueue::in_read_window(PageId page) const {
   const Node* node = find(page);
   HYMEM_CHECK(node != nullptr);
-  return node->in_read;
+  return node->in_window(0);
 }
 
 bool CountedLruQueue::in_write_window(PageId page) const {
   const Node* node = find(page);
   HYMEM_CHECK(node != nullptr);
-  return node->in_write;
+  return node->in_window(1);
 }
 
 std::uint64_t CountedLruQueue::read_counter(PageId page) const {
   const Node* node = find(page);
   HYMEM_CHECK(node != nullptr);
-  return node->read_ctr;
+  return node->counter(0);
 }
 
 std::uint64_t CountedLruQueue::write_counter(PageId page) const {
   const Node* node = find(page);
   HYMEM_CHECK(node != nullptr);
-  return node->write_ctr;
+  return node->counter(1);
 }
 
 void CountedLruQueue::check_invariants() const {
@@ -164,15 +123,15 @@ void CountedLruQueue::check_invariants() const {
     bool prefix_over = false;
     const Node* last_in = nullptr;
     list_.for_each([&](const Node& n) {
-      const bool in = n.*(w->flag);
-      if (in) {
+      if (n.in_window(w->idx)) {
         HYMEM_CHECK_MSG(!prefix_over, "window is not a prefix");
         ++seen;
-        walked_sum += n.*(w->ctr);
+        walked_sum += n.counter(w->idx);
         last_in = &n;
       } else {
         prefix_over = true;
-        HYMEM_CHECK_MSG(n.*(w->ctr) == 0, "counter not reset outside window");
+        HYMEM_CHECK_MSG(n.counter(w->idx) == 0,
+                        "counter not reset outside window");
       }
     });
     HYMEM_CHECK(seen == w->count);

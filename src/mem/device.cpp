@@ -13,16 +13,6 @@ MemoryDevice::MemoryDevice(Tier tier, MemTechnology technology,
   HYMEM_CHECK_MSG(page_size > 0, "page size must be positive");
 }
 
-Nanoseconds MemoryDevice::record_demand(AccessType type) {
-  const bool write = type == AccessType::kWrite;
-  if (write) {
-    ++counters_.demand_writes;
-  } else {
-    ++counters_.demand_reads;
-  }
-  return tech_.latency(write);
-}
-
 Nanoseconds MemoryDevice::record_transfer(AccessType type, std::uint64_t n) {
   const bool write = type == AccessType::kWrite;
   if (write) {

@@ -37,8 +37,31 @@ class MemoryDevice {
 
   const DeviceCounters& counters() const { return counters_; }
 
-  /// Records a CPU demand access; returns its latency.
-  Nanoseconds record_demand(AccessType type);
+  /// Records a CPU demand access; returns its latency. Header-inline: this
+  /// is one of the few calls on the per-access replay path, and the body is
+  /// a counter increment plus a latency-table read.
+  Nanoseconds record_demand(AccessType type) {
+    const bool write = type == AccessType::kWrite;
+    if (write) {
+      ++counters_.demand_writes;
+    } else {
+      ++counters_.demand_reads;
+    }
+    return tech_.latency(write);
+  }
+
+  /// The latency one demand access of `type` costs (what record_demand
+  /// returns), without recording anything.
+  Nanoseconds demand_latency(AccessType type) const {
+    return tech_.latency(type == AccessType::kWrite);
+  }
+
+  /// Folds `reads` + `writes` demand accesses into the counters at once
+  /// (block-replay batching; equivalent to that many record_demand calls).
+  void record_demand_batch(std::uint64_t reads, std::uint64_t writes) {
+    counters_.demand_reads += reads;
+    counters_.demand_writes += writes;
+  }
 
   /// Records `n` device accesses on behalf of a page transfer (DMA read from
   /// this device, or DMA write into it); returns the total latency.

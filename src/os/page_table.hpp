@@ -59,6 +59,15 @@ class PageTable {
   PageTableEntry* find(PageId page);
   const PageTableEntry* find(PageId page) const;
 
+  /// `find` with the caller-memoized key hash (block-replay fast path; see
+  /// FlatPageMap::find_hashed). `hash` must equal hash_page_id(page).
+  PageTableEntry* find_hashed(PageId page, std::uint64_t hash) {
+    return entries_.find_hashed(page, hash);
+  }
+  const PageTableEntry* find_hashed(PageId page, std::uint64_t hash) const {
+    return entries_.find_hashed(page, hash);
+  }
+
   /// Adds a mapping; the page must not be resident.
   void map(PageId page, Tier tier, FrameId frame, bool dirty = false);
 

@@ -38,10 +38,6 @@ std::uint64_t Vmm::frames(Tier tier) const {
   return tier == Tier::kDram ? config_.dram_frames : config_.nvm_frames;
 }
 
-mem::MemoryDevice& Vmm::device_mut(Tier tier) {
-  return tier == Tier::kDram ? dram_ : nvm_;
-}
-
 const mem::MemoryDevice& Vmm::device(Tier tier) const {
   return tier == Tier::kDram ? dram_ : nvm_;
 }

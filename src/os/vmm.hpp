@@ -77,6 +77,53 @@ class Vmm {
   std::optional<ResidentAccess> access_if_resident(PageId page,
                                                    AccessType type);
 
+  // --- Block-replay fast path -----------------------------------------------
+  // The three calls below decompose access_if_resident for a *trusted*
+  // caller: a policy whose own per-tier indexes already prove residency and
+  // tier (the queues and the page table track the same pages by invariant —
+  // check_consistency and the stream-vs-materialized differential pin it).
+  // Splitting the accounting from the probe lets the policy's block loop
+  // skip the page-table probe entirely on reads (reads have no dirty or
+  // endurance side effects) and reuse a cached entry across same-page runs.
+
+  /// Page-table entry for the fast path, probed with the decode-time
+  /// memoized hash (must equal util::hash_page_id(page)); nullptr when
+  /// non-resident. The caller may mark_dirty() the entry but must route all
+  /// other mutations through VMM operations. The pointer is invalidated by
+  /// any residency change (fault_in, evict, migrate, swap).
+  PageTableEntry* entry_hashed(PageId page, std::uint64_t hash) {
+    return table_.find_hashed(page, hash);
+  }
+
+  /// Demand-access accounting for a page the caller has proven resident in
+  /// `tier`: identical counters and latency to `access`, minus the probe.
+  /// For writes the caller must also mark the entry dirty and, on NVM,
+  /// call note_nvm_demand_write.
+  Nanoseconds record_demand_resident(Tier tier, AccessType type) {
+    return device_mut(tier).record_demand(type);
+  }
+
+  /// The latency `record_demand_resident` would charge — a constant per
+  /// (tier, type) — so a block loop can hoist all four values and defer the
+  /// counter updates to one `record_demand_batch` per block.
+  Nanoseconds demand_latency(Tier tier, AccessType type) const {
+    return device(tier).demand_latency(type);
+  }
+
+  /// Folds a block's worth of demand-access counts into `tier`'s counters
+  /// in one step. Integer addition commutes, so batching at block end leaves
+  /// every counter identical to per-access recording.
+  void record_demand_batch(Tier tier, std::uint64_t reads,
+                           std::uint64_t writes) {
+    device_mut(tier).record_demand_batch(reads, writes);
+  }
+
+  /// Endurance/wear accounting for one demand write into an NVM frame (the
+  /// same bookkeeping `access` does internally for NVM writes).
+  void note_nvm_demand_write(FrameId frame) {
+    record_nvm_page_write(frame, mem::NvmWriteSource::kDemandWrite);
+  }
+
   /// Brings a page in from disk into `tier` (a free frame must exist).
   /// Returns the visible latency: the disk delay only — the paper overlaps
   /// the memory fill writes with the disk transfer via DMA (Section II.A),
@@ -127,7 +174,9 @@ class Vmm {
   const PageTable& page_table() const { return table_; }
 
  private:
-  mem::MemoryDevice& device_mut(Tier tier);
+  mem::MemoryDevice& device_mut(Tier tier) {
+    return tier == Tier::kDram ? dram_ : nvm_;
+  }
   FrameAllocator& allocator(Tier tier);
   void record_nvm_page_write(FrameId frame, mem::NvmWriteSource source);
 

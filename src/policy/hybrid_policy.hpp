@@ -6,6 +6,8 @@
 // by the same mechanism layer, so comparisons are apples-to-apples.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 #include "os/vmm.hpp"
@@ -13,6 +15,18 @@
 #include "util/units.hpp"
 
 namespace hymem::policy {
+
+/// One decoded block of the replay stream, the unit the block engine hands
+/// to a policy. `hashes` memoizes hash_page_id(pages[i]) — the decode stage
+/// computes it once per access so the policy's map probes (page table, LRU
+/// indexes) never rerun the mixer; it may be null when the producer does not
+/// precompute (policies must treat it as an optional acceleration).
+struct AccessBlock {
+  const PageId* pages = nullptr;
+  const AccessType* types = nullptr;
+  const std::uint64_t* hashes = nullptr;
+  std::size_t size = 0;
+};
 
 /// Base class of all hybrid-memory policies (and the single-module
 /// baselines, which simply leave one module empty).
@@ -34,6 +48,25 @@ class HybridPolicy {
   /// loops call this a fixed distance ahead of on_access; it must have no
   /// architectural effect.
   virtual void prefetch(PageId page) const { vmm_.prefetch_translation(page); }
+
+  /// Serves a decoded block of accesses and returns the summed visible
+  /// latency. Semantically identical to calling on_access in sequence — the
+  /// block engine's differential gate holds every override to that contract
+  /// — but a policy may override it to batch the work: hoist per-access
+  /// dispatch, reuse the memoized hashes, and keep its inner loop free of
+  /// virtual calls. The default is the reference replay loop (prefetch a
+  /// fixed distance ahead, then serve).
+  virtual Nanoseconds on_block(const AccessBlock& block) {
+    constexpr std::size_t kPrefetchDistance = 8;
+    Nanoseconds total = 0;
+    for (std::size_t i = 0; i < block.size; ++i) {
+      if (i + kPrefetchDistance < block.size) {
+        prefetch(block.pages[i + kPrefetchDistance]);
+      }
+      total += on_access(block.pages[i], block.types[i]);
+    }
+    return total;
+  }
 
   os::Vmm& vmm() { return vmm_; }
   const os::Vmm& vmm() const { return vmm_; }

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/timeline_io.hpp"
+#include "runner/sharded.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/results_io.hpp"
 #include "util/csv.hpp"
@@ -165,8 +166,8 @@ SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     auto& slot = out.jobs[i];
     const auto start = std::chrono::steady_clock::now();
     try {
-      slot.result = sim::run_workload(slot.job.workload, spec.scale,
-                                      slot.job.config, slot.job.seed);
+      slot.result = run_workload_dispatch(slot.job.workload, spec.scale,
+                                          slot.job.config, slot.job.seed);
       slot.ok = true;
     } catch (const std::exception& e) {
       slot.error = e.what();

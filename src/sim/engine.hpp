@@ -14,6 +14,7 @@
 #include "obs/sampled_stats.hpp"
 #include "obs/tap.hpp"
 #include "policy/hybrid_policy.hpp"
+#include "trace/block_source.hpp"
 #include "trace/stream_io.hpp"
 #include "trace/trace.hpp"
 
@@ -62,6 +63,24 @@ struct RunResult {
 RunResult run_trace(policy::HybridPolicy& policy, const trace::Trace& trace,
                     double duration_s, unsigned warmup_passes = 0,
                     obs::RunObserver* observer = nullptr);
+
+/// Block-replay engine: consumes decoded blocks from a BlockSource and
+/// serves each through the policy's on_block fast path (or, when an
+/// observer is attached, a per-access instrumented loop with identical
+/// semantics). This is the streaming engine proper — the source decides
+/// whether blocks come from a decode-once cache (TraceBlockSource) or a
+/// double-buffered O(chunk) stream (StreamBlockSource); results are
+/// byte-identical either way, and byte-identical to run_trace.
+///
+/// The source must be positioned at its start. Each pass after the first
+/// (warmup passes plus the measured pass) rewinds the source, so multi-pass
+/// replay needs a rewindable source; `warmup_passes == 0` performs a single
+/// forward pass and works on non-seekable streams too.
+///
+/// Throws std::invalid_argument when the source yields no accesses.
+RunResult run_blocks(policy::HybridPolicy& policy, trace::BlockSource& source,
+                     double duration_s, unsigned warmup_passes = 0,
+                     obs::RunObserver* observer = nullptr);
 
 /// Streaming variant: pulls records from a chunked stream reader
 /// (constant memory — for captures too large to materialize). No warmup

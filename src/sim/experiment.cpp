@@ -91,6 +91,26 @@ class QuiescedObserver final : public obs::RunObserver {
   obs::RunObserver& inner_;
 };
 
+// One engine invocation, routed by config: the historical run_trace
+// reference loop when neither chunking nor exact sharding is requested,
+// otherwise the block engine over a decode-once source (chunk_accesses per
+// block, decode striped across `shards` workers in exact mode). The routes
+// are byte-identical — test_stream_parity and the CI smokes gate it — so
+// the choice is purely a throughput/memory knob.
+RunResult engine_run(policy::HybridPolicy& policy, const trace::Trace& trace,
+                     double duration_s, unsigned warmup_passes,
+                     const ExperimentConfig& config,
+                     obs::RunObserver* observer) {
+  if (config.chunk_accesses == 0 && config.shards <= 1) {
+    return run_trace(policy, trace, duration_s, warmup_passes, observer);
+  }
+  trace::TraceBlockSource source(
+      trace, config.page_size,
+      static_cast<std::size_t>(config.chunk_accesses),
+      config.shard_mode == ShardMode::kExact ? config.shards : 1);
+  return run_blocks(policy, source, duration_s, warmup_passes, observer);
+}
+
 // Measured pass with the observers the run needs on the engine's single
 // seam: the sampling tap (always, for sampled policies — without it the
 // policy never migrates), plus an EpochSampler when the config asks for a
@@ -114,7 +134,8 @@ RunResult measured_run(policy::HybridPolicy& policy, const trace::Trace& trace,
   };
 
   if (config.timeline_epoch == 0) {
-    return finish(run_trace(policy, trace, duration_s, warmup_passes, tap));
+    return finish(
+        engine_run(policy, trace, duration_s, warmup_passes, config, tap));
   }
   // The sampler reads scheme internals (windows, thresholds) only when the
   // policy actually is the two-LRU scheme; single-tier baselines still get
@@ -136,7 +157,7 @@ RunResult measured_run(policy::HybridPolicy& policy, const trace::Trace& trace,
     observer = &*tee;
   }
   RunResult result =
-      run_trace(policy, trace, duration_s, warmup_passes, observer);
+      engine_run(policy, trace, duration_s, warmup_passes, config, observer);
   result.timeline = sampler.take_timeline();
   return finish(result);
 }

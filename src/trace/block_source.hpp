@@ -1,0 +1,151 @@
+// Block sources: the decoded-block ingest layer of the streaming replay
+// engine.
+//
+// The engine's unit of work is a DecodedBlock — parallel arrays of page IDs,
+// access types and memoized page-ID hashes. A BlockSource produces the run's
+// blocks in trace order and can rewind for warmup passes; the engine never
+// sees raw byte addresses, so decode cost (the page shift and the hash
+// mixer) is paid where the source can amortize or hide it:
+//
+//   * TraceBlockSource decodes a materialized trace exactly once, at
+//     construction (optionally striped across worker threads), and serves
+//     every pass from the cached arrays — the multi-pass replay loop does
+//     zero decode work.
+//   * StreamBlockSource pulls the chunked stream_io format and holds only
+//     two blocks of memory: with readahead on, a producer thread decodes
+//     block N+1 while the consumer replays block N (double buffering), so
+//     run memory is O(chunk) for captures too large to materialize.
+//
+// Both sources emit identical block sequences for the same input, so every
+// consumer downstream of this seam is byte-identical across ingest modes —
+// the property tests/integration/test_stream_parity.cpp pins.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/stream_io.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace hymem::trace {
+
+/// One decoded block of replay work. Views into source-owned storage, valid
+/// until the next next()/rewind() on the producing source.
+struct DecodedBlock {
+  const PageId* pages = nullptr;
+  const AccessType* types = nullptr;
+  const std::uint64_t* hashes = nullptr;  ///< hash_page_id(pages[i]), memoized.
+  std::size_t size = 0;
+};
+
+/// Produces a run's decoded blocks in trace order.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual std::uint64_t page_size() const = 0;
+
+  /// Next block of the current pass, or nullptr at the end. The returned
+  /// view is valid until the following next()/rewind().
+  virtual const DecodedBlock* next() = 0;
+
+  /// Restarts the block sequence from the beginning (warmup passes).
+  virtual void rewind() = 0;
+};
+
+/// Decode-once source over a materialized trace. Construction decodes every
+/// access (page shift + hash mixer) into cached arrays — striped across
+/// `decode_workers` threads when > 1, with each worker writing a disjoint
+/// range, so the arrays are byte-identical for any worker count. next()
+/// serves successive `block_accesses`-sized windows of the cache.
+class TraceBlockSource final : public BlockSource {
+ public:
+  /// `block_accesses` 0 serves the whole trace as a single block.
+  TraceBlockSource(const Trace& trace, std::uint64_t page_size,
+                   std::size_t block_accesses = 0, unsigned decode_workers = 1);
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t page_size() const override { return page_size_; }
+  const DecodedBlock* next() override;
+  void rewind() override { cursor_ = 0; }
+
+  std::size_t total_accesses() const { return pages_.size(); }
+
+ private:
+  std::string name_;
+  std::uint64_t page_size_;
+  std::size_t block_accesses_;
+  std::vector<PageId> pages_;
+  std::vector<AccessType> types_;
+  std::vector<std::uint64_t> hashes_;
+  std::size_t cursor_ = 0;
+  DecodedBlock view_;
+};
+
+/// Streaming source over the chunked stream_io format: O(block) memory.
+///
+/// With `readahead` on, a producer thread decodes the next block into the
+/// idle half of a double buffer while the consumer replays the other half;
+/// next() blocks only when the producer has not finished yet. With it off,
+/// next() decodes synchronously — same block sequence, no second thread
+/// (the serial reference mode the determinism smokes compare against).
+class StreamBlockSource final : public BlockSource {
+ public:
+  /// `in` must outlive the source; rewind() requires it to be seekable.
+  StreamBlockSource(std::istream& in, std::uint64_t page_size,
+                    std::size_t block_accesses = std::size_t{1} << 16,
+                    bool readahead = true);
+  ~StreamBlockSource() override;
+
+  const std::string& name() const override { return reader_.name(); }
+  std::uint64_t page_size() const override { return page_size_; }
+  const DecodedBlock* next() override;
+  void rewind() override;
+
+ private:
+  /// One half of the double buffer.
+  struct Buffer {
+    std::vector<PageId> pages;
+    std::vector<AccessType> types;
+    std::vector<std::uint64_t> hashes;
+    std::size_t size = 0;
+    bool filled = false;  ///< Producer wrote it; consumer has not taken it.
+    bool eof = false;     ///< No records behind this buffer's contents.
+  };
+
+  /// Decodes up to one block from the reader into `buf` (caller owns
+  /// synchronization). Sets buf.eof when the stream is exhausted.
+  void fill(Buffer& buf);
+  void start_producer();
+  void stop_producer();
+  void producer_loop();
+
+  StreamTraceReader reader_;
+  std::uint64_t page_size_;
+  std::size_t block_accesses_;
+  bool readahead_;
+
+  Buffer buffers_[2];
+  std::size_t consume_index_ = 0;  ///< Next buffer the consumer takes.
+  std::size_t produce_index_ = 0;  ///< Next buffer the producer fills.
+  int holding_ = -1;               ///< Buffer backing the live view, or -1.
+  bool finished_ = false;          ///< All records behind delivered blocks.
+  DecodedBlock view_;
+
+  std::thread producer_;
+  std::mutex mutex_;
+  std::condition_variable filled_cv_;  ///< Signals consumer: buffer ready.
+  std::condition_variable free_cv_;    ///< Signals producer: buffer free.
+  bool stop_ = false;
+  std::exception_ptr producer_error_;
+};
+
+}  // namespace hymem::trace

@@ -19,15 +19,6 @@ void put(std::ostream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
-template <typename T>
-T take(std::istream& in) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  if (!in) throw std::runtime_error("hymem stream trace: truncated input");
-  return value;
-}
-
 }  // namespace
 
 StreamTraceWriter::StreamTraceWriter(std::ostream& out, std::string name,
@@ -70,36 +61,84 @@ void StreamTraceWriter::finish() {
   finished_ = true;
 }
 
+template <typename T>
+T StreamTraceReader::take(const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in_.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in_) {
+    throw std::runtime_error("hymem stream trace: truncated " +
+                             std::string(what) + " at byte " +
+                             std::to_string(offset_));
+  }
+  offset_ += sizeof(value);
+  return value;
+}
+
 StreamTraceReader::StreamTraceReader(std::istream& in) : in_(in) {
   std::array<char, 4> magic{};
   in_.read(magic.data(), magic.size());
   if (!in_ || magic != kMagic) {
-    throw std::runtime_error("hymem stream trace: bad magic");
+    throw std::runtime_error("hymem stream trace: bad magic at byte 0");
   }
-  const auto version = take<std::uint32_t>(in_);
+  offset_ += magic.size();
+  const auto version = take<std::uint32_t>("version");
   if (version != kStreamFormatVersion) {
     throw std::runtime_error("hymem stream trace: unsupported version " +
-                             std::to_string(version));
+                             std::to_string(version) + " at byte 4");
   }
-  const auto name_len = take<std::uint32_t>(in_);
+  const auto name_len = take<std::uint32_t>("name length");
   name_.resize(name_len);
   in_.read(name_.data(), name_len);
-  if (!in_) throw std::runtime_error("hymem stream trace: truncated name");
+  if (!in_) {
+    throw std::runtime_error("hymem stream trace: truncated name at byte " +
+                             std::to_string(offset_));
+  }
+  offset_ += name_len;
+  data_offset_ = offset_;
 }
 
 bool StreamTraceReader::load_chunk() {
-  const auto count = take<std::uint32_t>(in_);
+  const std::uint64_t header_offset = offset_;
+  const auto count = take<std::uint32_t>("chunk header");
   if (count == 0) {
     done_ = true;
     return false;
   }
   chunk_.clear();
+  // Record size is fixed (u64 + 2 * u8), so a header's claim is checkable
+  // directly against a seekable stream: a corrupt count fails here with the
+  // header's own offset rather than a truncation deep inside the chunk.
+  constexpr std::uint64_t kRecordBytes = sizeof(std::uint64_t) + 2;
+  const auto chunk_error = [&](const std::string& what) {
+    return std::runtime_error("hymem stream trace: " + what + " (chunk of " +
+                              std::to_string(count) +
+                              " records starting at byte " +
+                              std::to_string(header_offset) + ")");
+  };
+  const auto here = in_.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in_.seekg(0, std::ios::end);
+    const auto end = in_.tellg();
+    in_.seekg(here);
+    if (end != std::istream::pos_type(-1) &&
+        static_cast<std::uint64_t>(end - here) < count * kRecordBytes) {
+      throw chunk_error("chunk header claims " +
+                        std::to_string(count * kRecordBytes) +
+                        " record bytes but only " +
+                        std::to_string(static_cast<std::uint64_t>(end - here)) +
+                        " remain");
+    }
+  }
   chunk_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    const auto addr = take<std::uint64_t>(in_);
-    const auto type = take<std::uint8_t>(in_);
-    const auto core = take<std::uint8_t>(in_);
-    if (type > 1) throw std::runtime_error("hymem stream trace: bad type");
+    const auto addr = take<std::uint64_t>("record address");
+    const auto type = take<std::uint8_t>("record type");
+    const auto core = take<std::uint8_t>("record core");
+    if (type > 1) {
+      throw chunk_error("bad access type " + std::to_string(type) +
+                        " at byte " + std::to_string(offset_ - 2));
+    }
     chunk_.push_back({addr, static_cast<AccessType>(type), core});
   }
   cursor_ = 0;
@@ -111,6 +150,20 @@ std::optional<MemAccess> StreamTraceReader::next() {
   if (cursor_ >= chunk_.size() && !load_chunk()) return std::nullopt;
   ++read_;
   return chunk_[cursor_++];
+}
+
+void StreamTraceReader::rewind() {
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(data_offset_));
+  if (!in_) {
+    throw std::runtime_error(
+        "hymem stream trace: rewind failed (stream not seekable)");
+  }
+  offset_ = data_offset_;
+  chunk_.clear();
+  cursor_ = 0;
+  read_ = 0;
+  done_ = false;
 }
 
 }  // namespace hymem::trace

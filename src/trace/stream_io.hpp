@@ -51,6 +51,11 @@ class StreamTraceWriter {
 };
 
 /// Pulls records one at a time from a chunked stream.
+///
+/// Every parse error is a std::runtime_error whose message carries the byte
+/// offset where decoding failed (and, inside a chunk, the offset and declared
+/// record count of that chunk's header) — a truncated or corrupt capture
+/// names the exact spot instead of silently ending the trace early.
 class StreamTraceReader {
  public:
   /// Parses the header; throws std::runtime_error on malformed input.
@@ -63,14 +68,26 @@ class StreamTraceReader {
 
   std::uint64_t read_count() const { return read_; }
 
+  /// Bytes consumed from the start of the stream so far.
+  std::uint64_t byte_offset() const { return offset_; }
+
+  /// Restarts the record sequence from the first chunk (multi-pass replay;
+  /// warmup passes of the streaming engine). Requires a seekable stream —
+  /// throws std::runtime_error when the seek fails (e.g. a pipe).
+  void rewind();
+
  private:
   bool load_chunk();
+  template <typename T>
+  T take(const char* what);
 
   std::istream& in_;
   std::string name_;
   std::vector<MemAccess> chunk_;
   std::size_t cursor_ = 0;
   std::uint64_t read_ = 0;
+  std::uint64_t offset_ = 0;       ///< Bytes consumed so far.
+  std::uint64_t data_offset_ = 0;  ///< Offset of the first chunk header.
   bool done_ = false;
 };
 

@@ -26,6 +26,13 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
 
 bool CliArgs::has(const std::string& name) const { return flags_.count(name) > 0; }
 
+std::vector<std::string> CliArgs::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;  // std::map iteration is already sorted.
+}
+
 std::string CliArgs::get(const std::string& name, const std::string& def) const {
   const auto it = flags_.find(name);
   return it == flags_.end() ? def : it->second;

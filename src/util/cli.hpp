@@ -19,6 +19,10 @@ class CliArgs {
 
   bool has(const std::string& name) const;
 
+  /// Names of every flag present on the command line, sorted (strict
+  /// harnesses diff this against their known-flag list).
+  std::vector<std::string> flag_names() const;
+
   /// Returns the flag's value, or `def` when absent.
   std::string get(const std::string& name, const std::string& def = "") const;
   std::int64_t get_int(const std::string& name, std::int64_t def) const;

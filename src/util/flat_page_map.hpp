@@ -61,9 +61,19 @@ class FlatPageMap {
     if (cap > keys_.size()) rehash(cap);
   }
 
-  V* find(PageId key) {
+  V* find(PageId key) { return find_hashed(key, hash_page_id(key)); }
+  const V* find(PageId key) const {
+    return const_cast<FlatPageMap*>(this)->find(key);
+  }
+
+  /// `find` with the hash supplied by the caller. The block-replay fast path
+  /// probes up to three maps (page table + both queue indexes) with the
+  /// *same* key-only hash per access; memoizing it once at decode time
+  /// instead of recomputing the mixer per probe is a measurable share of the
+  /// per-access budget. `hash` must equal hash_page_id(key).
+  V* find_hashed(PageId key, std::uint64_t hash) {
     if (keys_.empty()) return nullptr;
-    for (std::size_t i = hash_page_id(key) & mask_;; i = (i + 1) & mask_) {
+    for (std::size_t i = hash & mask_;; i = (i + 1) & mask_) {
       if (keys_[i] == key) return &values_[i];
       if (keys_[i] == kInvalidPage) {
         // An absent key is usually about to be inserted (fault fills, LRU
@@ -74,17 +84,20 @@ class FlatPageMap {
       }
     }
   }
-  const V* find(PageId key) const {
-    return const_cast<FlatPageMap*>(this)->find(key);
+  const V* find_hashed(PageId key, std::uint64_t hash) const {
+    return const_cast<FlatPageMap*>(this)->find_hashed(key, hash);
   }
   bool contains(PageId key) const { return find(key) != nullptr; }
 
   /// Hints the CPU to pull `key`'s home slot into cache. Replay loops know
   /// the access sequence ahead of time, so probing can be overlapped with
   /// the work of earlier accesses instead of stalling on a miss per probe.
-  void prefetch(PageId key) const {
+  void prefetch(PageId key) const { prefetch_hashed(hash_page_id(key)); }
+
+  /// `prefetch` with the hash supplied by the caller (see find_hashed).
+  void prefetch_hashed(std::uint64_t hash) const {
     if (!keys_.empty()) {
-      const std::size_t home = hash_page_id(key) & mask_;
+      const std::size_t home = hash & mask_;
       __builtin_prefetch(&keys_[home]);
       __builtin_prefetch(&values_[home]);
     }

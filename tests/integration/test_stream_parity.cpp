@@ -1,0 +1,161 @@
+// End-to-end parity of the streaming/block/sharded replay engines against
+// the serial reference engine (the ISSUE.md acceptance gates):
+//
+//   * every ingest mode (cached blocks, striped decode, HYTS stream with
+//     and without readahead) reproduces the reference RunResult bytes on
+//     hostile fuzz scenarios;
+//   * --chunk-accesses and exact-mode --shards leave the full sweep CSV and
+//     the epoch timeline CSV byte-identical for any value;
+//   * replaying a stream far larger than the chunk budget keeps peak RSS
+//     O(chunk), not O(trace).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/stream_parity.hpp"
+#include "core/migration_scheme.hpp"
+#include "os/vmm.hpp"
+#include "runner/sweep.hpp"
+#include "sim/engine.hpp"
+#include "synth/workload_profile.hpp"
+#include "trace/block_source.hpp"
+#include "trace/stream_io.hpp"
+
+namespace hymem {
+namespace {
+
+TEST(StreamParity, FuzzScenariosMatchAcrossEveryIngestMode) {
+  // Same scenario family as the differential fuzzer: thrash loops, write
+  // bursts, capacity-1 modules. Block size derives from the seed, covering
+  // one-access blocks through whole-trace blocks.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto report = check::run_stream_parity_case(seed, 2000);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.divergence;
+    EXPECT_GT(report.accesses, 0u);
+  }
+}
+
+/// One tiny sweep (workload × policies) serialized as results CSV plus
+/// timeline CSV — the exact bytes the CI determinism smokes diff.
+std::string sweep_bytes(std::uint64_t chunk_accesses, unsigned shards) {
+  runner::SweepSpec spec;
+  spec.workloads = {synth::parsec_profile("streamcluster")};
+  spec.policies = {"two-lru", "clock-dwf"};
+  spec.scale = 512;
+  runner::ConfigVariant variant;
+  variant.config.timeline_epoch = 512;
+  variant.config.chunk_accesses = chunk_accesses;
+  variant.config.shards = shards;
+  variant.config.shard_mode = sim::ShardMode::kExact;
+  spec.variants = {variant};
+  runner::SweepOptions options;
+  options.jobs = 1;
+  const auto sweep = runner::run_sweep(spec, options);
+  EXPECT_EQ(sweep.failures(), 0u);
+  std::ostringstream csv;
+  sweep.write_csv(csv);
+  const std::size_t rows = sweep.write_timeline_csv(csv);
+  EXPECT_GT(rows, 0u);
+  return csv.str();
+}
+
+TEST(StreamParity, ChunkAndExactShardsKeepSweepCsvByteIdentical) {
+  const std::string reference = sweep_bytes(/*chunk_accesses=*/0, /*shards=*/1);
+  EXPECT_EQ(sweep_bytes(1, 1), reference) << "one-access blocks";
+  EXPECT_EQ(sweep_bytes(777, 1), reference) << "odd block size";
+  EXPECT_EQ(sweep_bytes(1 << 20, 1), reference) << "whole-trace block";
+  EXPECT_EQ(sweep_bytes(4096, 2), reference) << "2 exact shards";
+  EXPECT_EQ(sweep_bytes(4096, 7), reference) << "7 exact shards";
+  EXPECT_EQ(sweep_bytes(0, 5), reference) << "shards without chunking";
+}
+
+/// VmHWM ("peak RSS") in bytes from /proc/self/status.
+std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::uint64_t kb = 0;
+      fields >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t current_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::uint64_t kb = 0;
+      fields >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+/// Resets VmHWM to the current RSS (Linux: "5" into clear_refs).
+bool reset_peak_rss() {
+  std::ofstream clear("/proc/self/clear_refs");
+  if (!clear) return false;
+  clear << "5";
+  clear.close();
+  return peak_rss_bytes() <= current_rss_bytes() + (4u << 20);
+}
+
+TEST(StreamParity, StreamedReplayPeakMemoryIsBoundedByChunkNotTrace) {
+  // 2M accesses = ~20 MB on disk and would cost ~100 MB to materialize and
+  // decode (16 B MemAccess + 17 B decoded arrays per access). The streamed
+  // engine holds two 16 Ki-access buffers (~0.6 MB) plus one reader chunk.
+  constexpr std::size_t kAccesses = 2'000'000;
+  constexpr std::size_t kBlock = 1 << 14;
+  const std::string path =
+      testing::TempDir() + "stream_parity_rss_trace.hyts";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out);
+    trace::StreamTraceWriter writer(out, "huge", kBlock);
+    std::uint64_t addr = 0;
+    for (std::size_t i = 0; i < kAccesses; ++i) {
+      // 64-page working set, striding so every page stays hot.
+      addr = (addr + 4096) % (64 * 4096);
+      writer.append({addr, i % 5 == 0 ? AccessType::kWrite : AccessType::kRead,
+                     0});
+    }
+    writer.finish();
+  }
+  if (!reset_peak_rss()) {
+    std::remove(path.c_str());
+    GTEST_SKIP() << "kernel does not support resetting VmHWM";
+  }
+  const std::uint64_t before = peak_rss_bytes();
+  {
+    os::VmmConfig config;
+    config.dram_frames = 8;
+    config.nvm_frames = 48;
+    os::Vmm vmm(config);
+    core::TwoLruMigrationPolicy policy(vmm, {});
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in);
+    trace::StreamBlockSource source(in, config.page_size, kBlock,
+                                    /*readahead=*/true);
+    const auto result = sim::run_blocks(policy, source, 1.0);
+    EXPECT_EQ(result.accesses, kAccesses);
+  }
+  const std::uint64_t after = peak_rss_bytes();
+  std::remove(path.c_str());
+  // O(chunk) head-room budget: far below the ~100 MB a materialized replay
+  // of this trace costs, far above the ~1 MB the double buffer needs.
+  EXPECT_LT(after - before, 16u << 20)
+      << "peak grew by " << (after - before) / 1024 << " KiB";
+}
+
+}  // namespace
+}  // namespace hymem

@@ -130,6 +130,56 @@ TEST(Engine, StreamedRunMatchesInMemoryRun) {
   EXPECT_EQ(streamed.workload, in_memory.workload);
 }
 
+TEST(Engine, BlockRunMatchesReferenceRunExactly) {
+  const auto trace = tiny_trace();
+  for (const unsigned warmup : {0u, 1u, 2u}) {
+    os::Vmm vmm_a(hybrid_config());
+    const auto policy_a = make_policy("two-lru", vmm_a);
+    const auto reference = run_trace(*policy_a, trace, 1.0, warmup);
+
+    os::Vmm vmm_b(hybrid_config());
+    const auto policy_b = make_policy("two-lru", vmm_b);
+    trace::TraceBlockSource source(trace, vmm_b.config().page_size, 97);
+    const auto blocked = run_blocks(*policy_b, source, 1.0, warmup);
+
+    EXPECT_EQ(blocked.accesses, reference.accesses) << warmup;
+    EXPECT_EQ(blocked.counts.page_faults, reference.counts.page_faults)
+        << warmup;
+    EXPECT_EQ(blocked.counts.migrations(), reference.counts.migrations())
+        << warmup;
+    EXPECT_DOUBLE_EQ(blocked.visible_latency_ns, reference.visible_latency_ns)
+        << warmup;
+    EXPECT_EQ(blocked.workload, reference.workload);
+    EXPECT_EQ(blocked.policy, reference.policy);
+  }
+}
+
+TEST(Engine, BlockRunObserverSeesOnlyMeasuredAccesses) {
+  // The observer path replays per access with identical semantics; the
+  // sampled timeline must cover exactly the measured pass.
+  const auto trace = tiny_trace();
+  os::Vmm vmm(hybrid_config());
+  const auto policy = make_policy("two-lru", vmm);
+  trace::TraceBlockSource source(trace, vmm.config().page_size, 64);
+  obs::EpochSampler sampler(/*epoch_length=*/500, vmm, nullptr, 1.0);
+  const auto result =
+      run_blocks(*policy, source, 1.0, /*warmup_passes=*/1, &sampler);
+  const auto timeline = sampler.take_timeline();
+  std::uint64_t covered = 0;
+  for (const auto& epoch : timeline.epochs) covered += epoch.delta.accesses;
+  EXPECT_EQ(covered, result.accesses);
+  EXPECT_EQ(result.accesses, trace.size());
+}
+
+TEST(Engine, EmptyBlockSourceRejected) {
+  os::Vmm vmm(hybrid_config());
+  const auto policy = make_policy("two-lru", vmm);
+  trace::Trace empty;
+  empty.set_name("void");
+  trace::TraceBlockSource source(empty, vmm.config().page_size, 16);
+  EXPECT_THROW(run_blocks(*policy, source, 1.0), std::invalid_argument);
+}
+
 TEST(Engine, IntegratedTransferModeShortensVisibleLatency) {
   auto run_mode = [&](mem::TransferMode mode) {
     os::VmmConfig cfg = hybrid_config();

@@ -1,0 +1,129 @@
+// Readahead-mode StreamBlockSource tests: a real producer thread decodes
+// ahead of the consumer, so these run under the tier1-runner label and the
+// TSan CI job.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "trace/block_source.hpp"
+#include "util/random.hpp"
+
+namespace hymem::trace {
+namespace {
+
+constexpr std::uint64_t kPage = 4096;
+
+Trace make_trace(std::size_t n, std::uint64_t seed = 11) {
+  Trace trace;
+  trace.set_name("readahead");
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = splitmix64(state);
+    trace.append({(r % 211) * kPage,
+                  (r >> 32) % 4 == 0 ? AccessType::kWrite : AccessType::kRead,
+                  0});
+  }
+  return trace;
+}
+
+std::string encode(const Trace& trace, std::size_t chunk_records) {
+  std::ostringstream bytes;
+  StreamTraceWriter writer(bytes, trace.name(), chunk_records);
+  for (const auto& access : trace.accesses()) writer.append(access);
+  writer.finish();
+  return bytes.str();
+}
+
+struct Flat {
+  std::vector<PageId> pages;
+  std::vector<AccessType> types;
+  std::vector<std::uint64_t> hashes;
+
+  bool operator==(const Flat& other) const {
+    return pages == other.pages && types == other.types &&
+           hashes == other.hashes;
+  }
+};
+
+Flat drain(BlockSource& source) {
+  Flat flat;
+  while (const DecodedBlock* block = source.next()) {
+    for (std::size_t i = 0; i < block->size; ++i) {
+      flat.pages.push_back(block->pages[i]);
+      flat.types.push_back(block->types[i]);
+      flat.hashes.push_back(block->hashes[i]);
+    }
+  }
+  return flat;
+}
+
+TEST(StreamBlockSourceThreaded, ReadaheadMatchesSync) {
+  const auto trace = make_trace(5000);
+  const std::string bytes = encode(trace, 64);
+  // Small blocks force many producer/consumer handoffs.
+  for (const std::size_t block : {1ul, 3ul, 64ul, 977ul, 8192ul}) {
+    std::istringstream sync_in(bytes);
+    StreamBlockSource sync(sync_in, kPage, block, /*readahead=*/false);
+    std::istringstream ahead_in(bytes);
+    StreamBlockSource ahead(ahead_in, kPage, block, /*readahead=*/true);
+    const Flat want = drain(sync);
+    EXPECT_EQ(want.pages.size(), 5000u);
+    EXPECT_TRUE(want == drain(ahead)) << "block " << block;
+  }
+}
+
+TEST(StreamBlockSourceThreaded, RewindRestartsProducer) {
+  const auto trace = make_trace(700);
+  const std::string bytes = encode(trace, 32);
+  std::istringstream in(bytes);
+  StreamBlockSource source(in, kPage, 48, /*readahead=*/true);
+  const Flat first = drain(source);
+  for (int pass = 0; pass < 3; ++pass) {
+    source.rewind();
+    EXPECT_TRUE(first == drain(source)) << "pass " << pass;
+  }
+}
+
+TEST(StreamBlockSourceThreaded, MidStreamRewindDiscardsPosition) {
+  const auto trace = make_trace(300);
+  const std::string bytes = encode(trace, 16);
+  std::istringstream in(bytes);
+  StreamBlockSource source(in, kPage, 10, /*readahead=*/true);
+  ASSERT_NE(source.next(), nullptr);
+  ASSERT_NE(source.next(), nullptr);
+  source.rewind();
+  const Flat restarted = drain(source);
+  EXPECT_EQ(restarted.pages.size(), 300u);
+}
+
+TEST(StreamBlockSourceThreaded, ProducerErrorReachesConsumer) {
+  const auto trace = make_trace(500);
+  std::string bytes = encode(trace, 16);
+  bytes.resize(bytes.size() - 9);  // Mid-record truncation.
+  std::istringstream in(bytes);
+  StreamBlockSource source(in, kPage, 20, /*readahead=*/true);
+  try {
+    drain(source);
+    FAIL() << "truncated stream must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hymem stream trace"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(source.next(), nullptr) << "error ends the sequence";
+}
+
+TEST(StreamBlockSourceThreaded, DestructionWithBlocksPendingDoesNotHang) {
+  const auto trace = make_trace(4000);
+  const std::string bytes = encode(trace, 64);
+  std::istringstream in(bytes);
+  auto source =
+      std::make_unique<StreamBlockSource>(in, kPage, 16, /*readahead=*/true);
+  ASSERT_NE(source->next(), nullptr);
+  source.reset();  // Producer still has thousands of blocks to go.
+}
+
+}  // namespace
+}  // namespace hymem::trace

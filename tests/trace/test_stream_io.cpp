@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 namespace hymem::trace {
 namespace {
@@ -79,6 +80,129 @@ TEST(StreamIo, TruncatedChunkRejected) {
         }
       },
       std::runtime_error);
+}
+
+// --- Error-path contract: every parse error names a byte offset. ---
+
+namespace {
+/// A 3-record stream named "t": header is 4 magic + 4 version + 4 name_len
+/// + 1 name byte = 13 bytes, so the first chunk header sits at byte 13 and
+/// records (10 bytes each) start at byte 17.
+std::string three_record_bytes() {
+  std::stringstream buf;
+  StreamTraceWriter writer(buf, "t", /*chunk_records=*/8);
+  for (Addr a = 0; a < 3; ++a) writer.append({a * 4096, AccessType::kRead, 0});
+  writer.finish();
+  return buf.str();
+}
+
+std::string error_of(const std::string& bytes) {
+  std::stringstream in(bytes);
+  try {
+    StreamTraceReader reader(in);
+    while (reader.next().has_value()) {
+    }
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+}  // namespace
+
+TEST(StreamIo, BadMagicNamesByteZero) {
+  EXPECT_NE(error_of("XXXX....").find("bad magic at byte 0"),
+            std::string::npos);
+}
+
+TEST(StreamIo, UnsupportedVersionNamesByteFour) {
+  std::string bytes = three_record_bytes();
+  bytes[4] = 9;
+  EXPECT_NE(error_of(bytes).find("unsupported version 9 at byte 4"),
+            std::string::npos);
+}
+
+TEST(StreamIo, TruncatedNameNamesOffset) {
+  std::string bytes = three_record_bytes();
+  bytes.resize(12);  // name_len says 1 byte follows; nothing does.
+  EXPECT_NE(error_of(bytes).find("truncated name at byte 12"),
+            std::string::npos);
+}
+
+TEST(StreamIo, TruncatedChunkHeaderNamesOffset) {
+  std::string bytes = three_record_bytes();
+  // Drop the 4-byte terminator and 2 bytes of the last record: the reload
+  // after the corrupt chunk fails while reading the chunk header at the
+  // exact truncation point.
+  bytes.resize(13);  // Exactly the header: chunk header missing entirely.
+  const std::string what = error_of(bytes);
+  EXPECT_NE(what.find("truncated chunk header at byte 13"), std::string::npos)
+      << what;
+}
+
+TEST(StreamIo, CorruptCountFailsAtHeaderNotMidChunk) {
+  std::string bytes = three_record_bytes();
+  // Rewrite the chunk's count from 3 to 3000: the claim (30000 record
+  // bytes) exceeds what remains, and the seekable-stream precheck reports
+  // it with the header's own offset instead of running off the end.
+  bytes[13] = static_cast<char>(0xB8);
+  bytes[14] = 0x0B;
+  const std::string what = error_of(bytes);
+  EXPECT_NE(what.find("chunk header claims 30000 record bytes"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("chunk of 3000 records starting at byte 13"),
+            std::string::npos)
+      << what;
+}
+
+TEST(StreamIo, BadAccessTypeNamesChunkAndByte) {
+  std::string bytes = three_record_bytes();
+  // Second record's type byte: 13 header + 4 count + 10 first record +
+  // 8 addr = byte 35.
+  bytes[35] = 7;
+  const std::string what = error_of(bytes);
+  EXPECT_NE(what.find("bad access type 7 at byte 35"), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("chunk of 3 records starting at byte 13"),
+            std::string::npos)
+      << what;
+}
+
+TEST(StreamIo, ByteOffsetTracksConsumption) {
+  std::stringstream buf(three_record_bytes());
+  StreamTraceReader reader(buf);
+  EXPECT_EQ(reader.byte_offset(), 13u);
+  reader.next();
+  // The whole 3-record chunk is decoded on first pull: 13 + 4 + 3*10.
+  EXPECT_EQ(reader.byte_offset(), 47u);
+  while (reader.next().has_value()) {
+  }
+  EXPECT_EQ(reader.byte_offset(), 51u) << "terminator consumed";
+}
+
+TEST(StreamIo, RewindReplaysIdentically) {
+  std::stringstream buf;
+  {
+    StreamTraceWriter writer(buf, "rw", 4);
+    for (Addr a = 0; a < 11; ++a) {
+      writer.append({a * 64, a % 2 ? AccessType::kWrite : AccessType::kRead,
+                     static_cast<std::uint8_t>(a % 3)});
+    }
+    writer.finish();
+  }
+  StreamTraceReader reader(buf);
+  std::vector<MemAccess> first;
+  while (auto rec = reader.next()) first.push_back(*rec);
+  reader.rewind();
+  EXPECT_EQ(reader.read_count(), 0u);
+  std::vector<MemAccess> second;
+  while (auto rec = reader.next()) second.push_back(*rec);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].addr, second[i].addr) << i;
+    EXPECT_EQ(first[i].type, second[i].type) << i;
+    EXPECT_EQ(first[i].core, second[i].core) << i;
+  }
 }
 
 TEST(StreamIo, ExactChunkBoundary) {

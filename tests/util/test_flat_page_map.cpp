@@ -266,7 +266,9 @@ TEST(FlatPageMap, ChurnAtExactlyHalfLoadFactor) {
     ASSERT_NE(map.find(k), nullptr);
     EXPECT_EQ(*map.find(k), k);
   }
-  EXPECT_EQ(*map.find(100), 100u);
+  PageId* const grown = map.find(100);
+  ASSERT_NE(grown, nullptr);
+  EXPECT_EQ(*grown, 100u);
 }
 
 }  // namespace
