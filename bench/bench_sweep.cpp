@@ -9,20 +9,40 @@
 //   * per-job fault isolation: a failing cell reports in its own row and
 //     the exit code, never by killing the sweep.
 //
+// With `--prescreen analytic`, the grid is first ranked in-process by the
+// closed-form estimator (src/model/analytic) and only the best
+// `--refine-top P` analytic-supported cells — plus every cell the estimator
+// cannot model, e.g. two-lru-adaptive — are simulated; the rest export as
+// status "skipped" with blank metrics. Ranking happens before any job is
+// dispatched, so the output stays byte-identical for every --jobs value.
+//
 //   $ bench_sweep [--scale 64] [--seed 42] [--jobs N] [--json]
 //                 [--timeline PATH [--epoch N]]
+//                 [--prescreen analytic [--refine-top P]]
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "runner/prescreen.hpp"
 #include "util/cli.hpp"
 
 using namespace hymem;
 
 int main(int argc, char** argv) {
-  const auto ctx = bench::parse_args(argc, argv, 64, {"json"});
+  const auto ctx =
+      bench::parse_args(argc, argv, 64, {"json", "prescreen", "refine-top"});
   const CliArgs args(argc, argv);
   const bool json = args.get_bool("json", false);
+  const std::string prescreen = args.get("prescreen");
+  if (!prescreen.empty() && prescreen != "analytic") {
+    std::cerr << args.program()
+              << ": --prescreen only supports 'analytic', got '" << prescreen
+              << "'\n";
+    return 2;
+  }
+  const std::size_t refine_top =
+      static_cast<std::size_t>(args.get_uint("refine-top", 0));
 
   runner::SweepSpec spec;
   const auto profiles = synth::parsec_profiles();
@@ -40,7 +60,22 @@ int main(int argc, char** argv) {
   options.jobs = ctx.jobs;
   options.progress = runner::stderr_progress();
 
-  const auto sweep = runner::run_sweep(spec, options);
+  runner::SweepResults sweep;
+  if (!prescreen.empty()) {
+    runner::PrescreenOptions prescreen_options;
+    prescreen_options.refine_top = refine_top;
+    prescreen_options.run = options;
+    auto screened = runner::run_prescreened_sweep(spec, prescreen_options);
+    std::cerr << "prescreen: " << screened.analytic_evals
+              << " analytic estimates ("
+              << static_cast<std::uint64_t>(
+                     screened.analytic_evals_per_second())
+              << "/s), simulated " << screened.simulated << "/"
+              << screened.sweep.jobs.size() << " cells\n";
+    sweep = std::move(screened.sweep);
+  } else {
+    sweep = runner::run_sweep(spec, options);
+  }
 
   if (json) {
     sweep.write_json(std::cout);

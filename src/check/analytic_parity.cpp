@@ -1,0 +1,137 @@
+#include "check/analytic_parity.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "model/probabilities.hpp"
+#include "synth/workload_profile.hpp"
+
+namespace hymem::check {
+
+namespace {
+
+double relative_error(double predicted, double simulated) {
+  const double denom = std::max(std::abs(simulated), 1e-12);
+  return std::abs(predicted - simulated) / denom;
+}
+
+ParityErrors cell_errors(const model::AnalyticEstimate& predicted,
+                         const sim::RunResult& simulated) {
+  const model::TableIProbabilities sim_probs =
+      model::probabilities(simulated.counts);
+  ParityErrors e;
+  e.hit_ratio = std::abs(predicted.hit_ratio -
+                         (sim_probs.hit_dram + sim_probs.hit_nvm));
+  e.hit_dram = std::abs(predicted.probs.hit_dram - sim_probs.hit_dram);
+  e.miss = std::abs(predicted.probs.miss - sim_probs.miss);
+  e.amat = relative_error(predicted.amat.total(), simulated.amat().total());
+  e.appr = relative_error(predicted.power.total(), simulated.appr().total());
+  const double sim_writes_per_access =
+      simulated.counts.accesses > 0
+          ? static_cast<double>(simulated.nvm_writes().total()) /
+                static_cast<double>(simulated.counts.accesses)
+          : 0.0;
+  e.nvm_writes = predicted.nvm_writes_per_access == 0.0 &&
+                         sim_writes_per_access == 0.0
+                     ? 0.0
+                     : relative_error(predicted.nvm_writes_per_access,
+                                      sim_writes_per_access);
+  return e;
+}
+
+}  // namespace
+
+ParityErrors ParityErrors::max_of(const ParityErrors& a,
+                                  const ParityErrors& b) {
+  ParityErrors m;
+  m.hit_ratio = std::max(a.hit_ratio, b.hit_ratio);
+  m.hit_dram = std::max(a.hit_dram, b.hit_dram);
+  m.miss = std::max(a.miss, b.miss);
+  m.amat = std::max(a.amat, b.amat);
+  m.appr = std::max(a.appr, b.appr);
+  m.nvm_writes = std::max(a.nvm_writes, b.nvm_writes);
+  return m;
+}
+
+std::vector<sim::ExperimentConfig> default_parity_grid(
+    const sim::ExperimentConfig& base) {
+  std::vector<sim::ExperimentConfig> cells;
+  // The two-LRU scheme at threshold/window points bracketing the Section IV
+  // defaults (8/12 at 10%/30% windows).
+  struct Point {
+    std::uint64_t read_t, write_t;
+    double read_p, write_p;
+  };
+  const Point points[] = {
+      {2, 4, 0.10, 0.30},
+      {8, 12, 0.10, 0.30},
+      {16, 24, 0.10, 0.30},
+      {8, 12, 0.20, 0.50},
+  };
+  for (const Point& pt : points) {
+    sim::ExperimentConfig cfg = base;
+    cfg.policy = "two-lru";
+    cfg.migration.adaptive = false;
+    cfg.migration.read_threshold = pt.read_t;
+    cfg.migration.write_threshold = pt.write_t;
+    cfg.migration.read_perc = pt.read_p;
+    cfg.migration.write_perc = pt.write_p;
+    cells.push_back(cfg);
+  }
+  for (const char* policy : {"dram-only", "nvm-only"}) {
+    sim::ExperimentConfig cfg = base;
+    cfg.policy = policy;
+    cells.push_back(cfg);
+  }
+  return cells;
+}
+
+ParityReport run_analytic_parity(const ParitySpec& spec) {
+  const std::vector<sim::ExperimentConfig> cells =
+      spec.cells.empty() ? default_parity_grid(spec.base) : spec.cells;
+  ParityReport report;
+  double analytic_seconds = 0.0;
+  std::size_t analytic_evals = 0;
+  for (const std::string& workload : spec.workloads) {
+    const synth::WorkloadProfile profile = synth::parsec_profile(workload);
+    for (const std::uint64_t seed : spec.seeds) {
+      const sim::AnalyticWorkload characterized =
+          sim::characterize_workload(profile, spec.scale, spec.base, seed);
+      for (const sim::ExperimentConfig& cfg : cells) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const sim::MemorySizing sizing =
+            sim::size_memory(characterized.footprint_pages, cfg);
+        const model::AnalyticEstimate predicted = model::estimate(
+            characterized.profile,
+            sim::analytic_config_for(cfg, sizing, characterized.duration_s),
+            spec.bias);
+        analytic_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        ++analytic_evals;
+
+        const sim::RunResult simulated =
+            sim::run_workload(profile, spec.scale, cfg, seed);
+        ParityCell cell;
+        cell.workload = workload;
+        cell.seed = seed;
+        cell.policy = cfg.policy;
+        cell.migration = cfg.migration;
+        cell.predicted = predicted;
+        cell.simulated = model::probabilities(simulated.counts);
+        cell.errors = cell_errors(predicted, simulated);
+        report.worst = ParityErrors::max_of(report.worst, cell.errors);
+        report.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  if (analytic_seconds > 0.0) {
+    report.analytic_evals_per_second =
+        static_cast<double>(analytic_evals) / analytic_seconds;
+  }
+  return report;
+}
+
+}  // namespace hymem::check

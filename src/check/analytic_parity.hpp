@@ -1,0 +1,78 @@
+// Cross-validation harness for the analytic estimator (model/analytic):
+// predicted-vs-simulated over fuzz seeds × a Table III-style config grid,
+// reporting per-metric error so tests can pin tolerances.
+//
+// This is the differential-testing pattern of check/differential applied one
+// level up: the reference is the full simulator (run_workload), the subject
+// is the closed-form estimator, and a deliberate-bias knob (AnalyticBias,
+// mirroring DiffSpec::oracle_threshold_bias) lets the suite prove the
+// harness actually detects a wrong model term.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/analytic.hpp"
+#include "sim/experiment.hpp"
+
+namespace hymem::check {
+
+/// Per-metric prediction error for one cell. Probability-type metrics use
+/// absolute error (they live in [0, 1] and the simulated value can be 0);
+/// cost metrics use error relative to the simulated value.
+struct ParityErrors {
+  double hit_ratio = 0.0;   ///< |pred - sim| of PHitDRAM + PHitNVM.
+  double hit_dram = 0.0;    ///< |pred - sim| of PHitDRAM (tier split).
+  double miss = 0.0;        ///< |pred - sim| of PMiss.
+  double amat = 0.0;        ///< Relative, Eq. 1 total ns.
+  double appr = 0.0;        ///< Relative, Eq. 2+3 total nJ.
+  double nvm_writes = 0.0;  ///< Relative, physical NVM writes per access
+                            ///< (the lifetime estimate's only moving part).
+
+  /// Field-wise maximum of two error sets.
+  static ParityErrors max_of(const ParityErrors& a, const ParityErrors& b);
+};
+
+/// One evaluated (workload, seed, config) cell.
+struct ParityCell {
+  std::string workload;
+  std::uint64_t seed = 0;
+  std::string policy;
+  core::MigrationConfig migration;
+  model::AnalyticEstimate predicted;
+  model::TableIProbabilities simulated;
+  ParityErrors errors;
+};
+
+/// What to validate. `base` supplies sizing/technology; `cells` the config
+/// grid (empty = default_parity_grid(base)). `bias` is the mutation-check
+/// knob — nonzero bias must blow the pinned tolerances.
+struct ParitySpec {
+  std::vector<std::string> workloads{"canneal", "streamcluster"};
+  std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5, 6, 7, 8};
+  std::uint64_t scale = 512;
+  sim::ExperimentConfig base;
+  std::vector<sim::ExperimentConfig> cells;
+  model::AnalyticBias bias;
+};
+
+/// The Table III-style grid the parity gate runs: the two-LRU scheme across
+/// threshold/window points bracketing the paper's defaults, plus the two
+/// single-tier baselines.
+std::vector<sim::ExperimentConfig> default_parity_grid(
+    const sim::ExperimentConfig& base);
+
+struct ParityReport {
+  std::vector<ParityCell> cells;
+  ParityErrors worst;
+  /// Analytic throughput observed while filling the report (estimates per
+  /// second, characterization excluded) — the prescreen speed headline.
+  double analytic_evals_per_second = 0.0;
+};
+
+/// Runs every (workload, seed, cell): one characterization per (workload,
+/// seed), one simulation and one estimate per cell.
+ParityReport run_analytic_parity(const ParitySpec& spec);
+
+}  // namespace hymem::check

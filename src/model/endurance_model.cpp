@@ -26,4 +26,22 @@ double lifetime_seconds(const NvmWriteBreakdown& writes,
   return budget / rate;
 }
 
+double nvm_writes_per_access(const TableIProbabilities& probs,
+                             std::uint64_t page_factor) {
+  const auto pf = static_cast<double>(page_factor);
+  return probs.hit_nvm * probs.write_nvm +
+         probs.miss * probs.disk_to_nvm * pf + probs.mig_to_nvm * pf;
+}
+
+double lifetime_seconds(double total_writes, double endurance_cycles,
+                        std::uint64_t nvm_pages, std::uint64_t page_factor,
+                        double duration_s) {
+  if (total_writes <= 0.0 || endurance_cycles <= 0.0 || duration_s <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double budget = endurance_cycles * static_cast<double>(nvm_pages) *
+                        static_cast<double>(page_factor);
+  return budget / (total_writes / duration_s);
+}
+
 }  // namespace hymem::model

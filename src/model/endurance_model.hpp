@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "model/events.hpp"
+#include "model/probabilities.hpp"
 
 namespace hymem::model {
 
@@ -34,5 +35,18 @@ NvmWriteBreakdown nvm_writes(const EventCounts& counts);
 double lifetime_seconds(const NvmWriteBreakdown& writes,
                         double endurance_cycles, std::uint64_t nvm_pages,
                         std::uint64_t page_factor, double duration_s);
+
+/// Probability-form of the same accounting: physical NVM writes per CPU
+/// request (demand writes + fault fills to NVM + demotions, page moves
+/// costing `page_factor` device writes each).
+double nvm_writes_per_access(const TableIProbabilities& probs,
+                             std::uint64_t page_factor);
+
+/// Rate-form lifetime for the analytic path: `total_writes` device-sized
+/// NVM writes over `duration_s` seconds. Same perfect-wear-leveling budget
+/// as the breakdown overload; +inf when nothing is written.
+double lifetime_seconds(double total_writes, double endurance_cycles,
+                        std::uint64_t nvm_pages, std::uint64_t page_factor,
+                        double duration_s);
 
 }  // namespace hymem::model

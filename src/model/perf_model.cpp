@@ -48,4 +48,25 @@ AmatBreakdown amat(const EventCounts& c, const ModelParams& p) {
   return b;
 }
 
+AmatBreakdown amat(const TableIProbabilities& probs, const ModelParams& p) {
+  const auto pf = static_cast<double>(p.page_factor);
+  AmatBreakdown b;
+  b.hit_ns = probs.hit_dram * (probs.read_dram * p.dram.read_latency_ns +
+                               probs.write_dram * p.dram.write_latency_ns) +
+             probs.hit_nvm * (probs.read_nvm * p.nvm.read_latency_ns +
+                              probs.write_nvm * p.nvm.write_latency_ns);
+  b.fault_ns = probs.miss * p.disk_latency_ns;
+  auto compose = [&](Nanoseconds read_ns, Nanoseconds write_ns) {
+    return p.transfer_mode == mem::TransferMode::kDma
+               ? read_ns + write_ns
+               : std::max(read_ns, write_ns);
+  };
+  b.migration_ns =
+      probs.mig_to_dram * pf *
+          compose(p.nvm.read_latency_ns, p.dram.write_latency_ns) +
+      probs.mig_to_nvm * pf *
+          compose(p.dram.read_latency_ns, p.nvm.write_latency_ns);
+  return b;
+}
+
 }  // namespace hymem::model

@@ -11,6 +11,7 @@
 
 #include "model/events.hpp"
 #include "model/model_params.hpp"
+#include "model/probabilities.hpp"
 #include "util/units.hpp"
 
 namespace hymem::model {
@@ -30,5 +31,13 @@ struct AmatBreakdown {
 
 /// Computes Eq. 1 from event counts.
 AmatBreakdown amat(const EventCounts& counts, const ModelParams& params);
+
+/// Computes Eq. 1 directly from Table I probabilities — the published form.
+/// PageFactor comes from `params.page_factor`. This is the single formula
+/// home for probability-form costing: the analytic estimator and the what-if
+/// helpers route through it (check/oracle_metrics deliberately keeps its own
+/// independent recomputation). Agrees with the counts form exactly:
+/// PHitDRAM * PRDRAM == dram_read_hits / accesses, including the 0/0 cases.
+AmatBreakdown amat(const TableIProbabilities& probs, const ModelParams& params);
 
 }  // namespace hymem::model

@@ -33,4 +33,25 @@ PowerBreakdown appr(const EventCounts& c, const ModelParams& p,
   return b;
 }
 
+PowerBreakdown appr(const TableIProbabilities& probs, const ModelParams& p,
+                    double duration_s, double accesses) {
+  HYMEM_CHECK_MSG(duration_s >= 0.0, "negative duration");
+  if (accesses <= 0.0) return PowerBreakdown{};
+  const auto pf = static_cast<double>(p.page_factor);
+  PowerBreakdown b;
+  b.hit_nj = probs.hit_dram * (probs.read_dram * p.dram.read_energy_nj +
+                               probs.write_dram * p.dram.write_energy_nj) +
+             probs.hit_nvm * (probs.read_nvm * p.nvm.read_energy_nj +
+                              probs.write_nvm * p.nvm.write_energy_nj);
+  b.fault_fill_nj =
+      probs.miss * probs.disk_to_dram * pf * p.dram.write_energy_nj +
+      probs.miss * probs.disk_to_nvm * pf * p.nvm.write_energy_nj;
+  b.migration_nj = probs.mig_to_dram * pf *
+                       (p.nvm.read_energy_nj + p.dram.write_energy_nj) +
+                   probs.mig_to_nvm * pf *
+                       (p.dram.read_energy_nj + p.nvm.write_energy_nj);
+  b.static_nj = p.total_static_power() * duration_s * 1e9 / accesses;
+  return b;
+}
+
 }  // namespace hymem::model

@@ -19,6 +19,7 @@
 
 #include "model/events.hpp"
 #include "model/model_params.hpp"
+#include "model/probabilities.hpp"
 #include "util/units.hpp"
 
 namespace hymem::model {
@@ -41,5 +42,12 @@ struct PowerBreakdown {
 /// to prorate static power.
 PowerBreakdown appr(const EventCounts& counts, const ModelParams& params,
                     double duration_s);
+
+/// Computes Eq. 2 + Eq. 3 directly from Table I probabilities (see the
+/// probability-form `amat` note: this is the formula's single home for the
+/// analytic path). `accesses` is the request count Eq. 3 prorates static
+/// energy over; zero accesses yields a zero breakdown.
+PowerBreakdown appr(const TableIProbabilities& probs, const ModelParams& params,
+                    double duration_s, double accesses);
 
 }  // namespace hymem::model

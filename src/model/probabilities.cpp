@@ -11,7 +11,18 @@ double ratio(std::uint64_t num, std::uint64_t den) {
 }  // namespace
 
 bool TableIProbabilities::is_consistent(double eps) const {
-  return std::abs(hit_dram + hit_nvm + miss - 1.0) <= eps;
+  for (const double v : {hit_dram, hit_nvm, read_dram, write_dram, read_nvm,
+                         write_nvm, miss, mig_to_dram, mig_to_nvm,
+                         disk_to_dram, disk_to_nvm}) {
+    if (!std::isfinite(v)) return false;
+  }
+  const double total = hit_dram + hit_nvm + miss;
+  // A zero-access run (empty or warmup-only) legitimately yields the
+  // all-zero struct; accept it alongside the normal sums-to-one case.
+  if (std::abs(total) <= eps) {
+    return hit_dram == 0.0 && hit_nvm == 0.0 && miss == 0.0;
+  }
+  return std::abs(total - 1.0) <= eps;
 }
 
 TableIProbabilities probabilities(const EventCounts& c) {

@@ -22,7 +22,10 @@ struct TableIProbabilities {
   double disk_to_dram = 0;  ///< PDiskToD (given a page fault)
   double disk_to_nvm = 0;   ///< PDiskToN (given a page fault)
 
-  /// PHitDRAM + PHitNVM + PMiss == 1 (within tolerance).
+  /// True when the struct is a plausible probability set: every field is
+  /// finite (NaN/Inf always fail), and either PHitDRAM + PHitNVM + PMiss == 1
+  /// (within tolerance) or the struct is all-zero — the graceful-degradation
+  /// output `probabilities()` returns for a zero-access run.
   bool is_consistent(double eps = 1e-9) const;
 };
 

@@ -50,8 +50,15 @@ std::vector<SweepJob> expand_grid(const SweepSpec& spec) {
 
 std::size_t SweepResults::failures() const {
   return static_cast<std::size_t>(
-      std::count_if(jobs.begin(), jobs.end(),
-                    [](const JobResult& j) { return !j.ok; }));
+      std::count_if(jobs.begin(), jobs.end(), [](const JobResult& j) {
+        return !j.ok && !j.skipped;
+      }));
+}
+
+std::size_t SweepResults::skipped() const {
+  return static_cast<std::size_t>(std::count_if(
+      jobs.begin(), jobs.end(),
+      [](const JobResult& j) { return j.skipped; }));
 }
 
 std::vector<sim::RunResult> SweepResults::results() const {
@@ -73,12 +80,13 @@ void SweepResults::write_csv(std::ostream& out) const {
   header.insert(header.end(), metric_header.begin() + 2, metric_header.end());
   writer.write_row(header);
   for (const auto& job : jobs) {
-    std::vector<std::string> row = {job.job.workload.name,
-                                    job.job.policy,
-                                    job.job.variant,
-                                    std::to_string(job.job.seed),
-                                    job.ok ? "ok" : "failed",
-                                    job.ok ? std::string() : job.error};
+    std::vector<std::string> row = {
+        job.job.workload.name,
+        job.job.policy,
+        job.job.variant,
+        std::to_string(job.job.seed),
+        job.ok ? "ok" : (job.skipped ? "skipped" : "failed"),
+        job.ok || job.skipped ? std::string() : job.error};
     if (job.ok) {
       auto fields = sim::csv_fields(job.result);
       row.insert(row.end(), fields.begin() + 2, fields.end());
@@ -123,11 +131,11 @@ void SweepResults::write_json(std::ostream& out) const {
         << "\",\n  \"policy\": \"" << json_escape(job.job.policy)
         << "\",\n  \"variant\": \"" << json_escape(job.job.variant)
         << "\",\n  \"seed\": " << job.job.seed << ",\n  \"status\": \""
-        << (job.ok ? "ok" : "failed") << "\"";
+        << (job.ok ? "ok" : (job.skipped ? "skipped" : "failed")) << "\"";
     if (job.ok) {
       out << ",\n  \"result\": ";
       sim::write_json(job.result, out);
-    } else {
+    } else if (!job.skipped) {
       out << ",\n  \"error\": \"" << json_escape(job.error) << "\"";
     }
     out << "\n}";
@@ -140,7 +148,7 @@ void SweepResults::write_failures(std::ostream& out) const {
   if (failed == 0) return;
   out << failed << "/" << jobs.size() << " sweep jobs FAILED:\n";
   for (const auto& job : jobs) {
-    if (job.ok) continue;
+    if (job.ok || job.skipped) continue;
     out << "  [" << job.job.index << "] " << job.job.workload.name << " / "
         << job.job.policy;
     if (!job.job.variant.empty()) out << " / " << job.job.variant;
@@ -148,25 +156,21 @@ void SweepResults::write_failures(std::ostream& out) const {
   }
 }
 
-SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
-  auto grid = expand_grid(spec);
-  SweepResults out;
-  out.jobs.resize(grid.size());
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    out.jobs[i].job = std::move(grid[i]);
-  }
-
+void execute_jobs(SweepResults& results, std::uint64_t scale,
+                  const std::vector<std::size_t>& indices,
+                  const SweepOptions& options) {
   unsigned workers = options.jobs ? options.jobs
                                   : ThreadPool::default_threads();
   workers = static_cast<unsigned>(std::max<std::size_t>(
-      1, std::min<std::size_t>(workers, out.jobs.size())));
+      1, std::min<std::size_t>(workers, std::max<std::size_t>(
+                                            1, indices.size()))));
 
-  ProgressTracker progress(out.jobs.size(), options.progress);
+  ProgressTracker progress(indices.size(), options.progress);
   const auto run_one = [&](std::size_t i) {
-    auto& slot = out.jobs[i];
+    auto& slot = results.jobs[i];
     const auto start = std::chrono::steady_clock::now();
     try {
-      slot.result = run_workload_dispatch(slot.job.workload, spec.scale,
+      slot.result = run_workload_dispatch(slot.job.workload, scale,
                                           slot.job.config, slot.job.seed);
       slot.ok = true;
     } catch (const std::exception& e) {
@@ -183,18 +187,30 @@ SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   const auto sweep_start = std::chrono::steady_clock::now();
   if (workers == 1) {
     // Serial reference path: same jobs, same slots, no threads at all.
-    for (std::size_t i = 0; i < out.jobs.size(); ++i) run_one(i);
+    for (const std::size_t i : indices) run_one(i);
   } else {
     ThreadPool pool(workers);
-    for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+    for (const std::size_t i : indices) {
       pool.submit([&run_one, i] { run_one(i); });
     }
     pool.wait_idle();
   }
-  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                             sweep_start)
-                   .count();
-  out.workers = workers;
+  results.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - sweep_start)
+                       .count();
+  results.workers = workers;
+}
+
+SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  auto grid = expand_grid(spec);
+  SweepResults out;
+  out.jobs.resize(grid.size());
+  std::vector<std::size_t> indices(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    out.jobs[i].job = std::move(grid[i]);
+    indices[i] = i;
+  }
+  execute_jobs(out, spec.scale, indices, options);
   return out;
 }
 

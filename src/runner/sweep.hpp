@@ -74,11 +74,13 @@ std::uint64_t job_seed(std::uint64_t base_seed, std::size_t index);
 /// (workload-major, then policy, then variant).
 std::vector<SweepJob> expand_grid(const SweepSpec& spec);
 
-/// One job's outcome: either a RunResult or a captured error.
+/// One job's outcome: a RunResult, a captured error, or — under the analytic
+/// prescreen — a deliberate skip (ranked out of the refine set, never run).
 struct JobResult {
   SweepJob job;
   bool ok = false;
-  std::string error;      ///< Exception text when !ok.
+  bool skipped = false;   ///< Prescreened out; not a failure.
+  std::string error;      ///< Exception text when !ok && !skipped.
   sim::RunResult result;  ///< Valid only when ok.
   double wall_ms = 0.0;   ///< This job's own wall time.
 };
@@ -90,13 +92,17 @@ struct SweepResults {
   double wall_s = 0.0;          ///< Whole-sweep wall time.
   unsigned workers = 1;         ///< Worker threads actually used.
 
+  /// Jobs that ran and failed. Prescreen-skipped jobs are not failures.
   std::size_t failures() const;
+  /// Jobs deliberately skipped by the analytic prescreen.
+  std::size_t skipped() const;
   /// The successful RunResults in grid order.
   std::vector<sim::RunResult> results() const;
 
   /// CSV: job identification (workload, policy, variant, seed, status,
   /// error, wall_ms omitted for byte-determinism) followed by the
-  /// sim::csv_header() metric columns (blank on failed jobs).
+  /// sim::csv_header() metric columns (blank on failed/skipped jobs).
+  /// Status is "ok", "failed" or "skipped".
   void write_csv(std::ostream& out) const;
   /// JSON array of {workload, policy, variant, seed, status[, error]
   /// [, result]} objects; `result` nests sim::write_json's object.
@@ -123,5 +129,14 @@ struct SweepOptions {
 
 /// Expands and executes the grid. Never throws for job-level failures.
 SweepResults run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+/// The executor behind run_sweep, shared with the analytic prescreen: runs
+/// only the jobs whose grid indices appear in `indices` (each at most once;
+/// untouched slots keep their prior state). Slots must already carry their
+/// SweepJob. Serial when the effective worker count is 1, byte-identical
+/// results for any worker count.
+void execute_jobs(SweepResults& results, std::uint64_t scale,
+                  const std::vector<std::size_t>& indices,
+                  const SweepOptions& options);
 
 }  // namespace hymem::runner

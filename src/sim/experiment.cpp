@@ -219,6 +219,72 @@ RunResult run_experiment(const trace::Trace& warmup,
                       config);
 }
 
+bool analytic_supported(const ExperimentConfig& config) {
+  if (config.policy == "two-lru") return !config.migration.adaptive;
+  // Single-tier baselines: only the (default) LRU replacement matches the
+  // stack-distance model.
+  return config.policy == "dram-only" || config.policy == "dram-only:lru" ||
+         config.policy == "nvm-only" || config.policy == "nvm-only:lru";
+}
+
+model::AnalyticConfig analytic_config_for(const ExperimentConfig& config,
+                                          const MemorySizing& sizing,
+                                          double duration_s) {
+  model::AnalyticConfig a;
+  a.dram_frames = sizing.dram_frames;
+  a.nvm_frames = sizing.nvm_frames;
+  a.migration = config.migration;
+  a.params.dram = config.dram;
+  a.params.nvm = config.nvm;
+  a.params.disk_latency_ns = config.disk.access_latency_ns;
+  a.params.page_factor = config.page_size / config.access_granularity;
+  a.params.dram_bytes = sizing.dram_frames * config.page_size;
+  a.params.nvm_bytes = sizing.nvm_frames * config.page_size;
+  a.params.transfer_mode = config.transfer_mode;
+  a.duration_s = duration_s;
+  return a;
+}
+
+AnalyticWorkload characterize_workload(const synth::WorkloadProfile& profile,
+                                       std::uint64_t scale,
+                                       const ExperimentConfig& config,
+                                       std::uint64_t seed) {
+  const synth::WorkloadProfile scaled = profile.scaled(scale);
+  synth::GeneratorOptions options;
+  options.page_size = config.page_size;
+  options.line_size = config.access_granularity;
+  options.seed = seed;
+  const trace::Trace warmup = synth::generate(scaled, options);
+  synth::GeneratorOptions body_options = options;
+  body_options.ensure_full_footprint = false;
+  body_options.seed = seed + 1;
+  const trace::Trace measured = synth::generate(scaled, body_options);
+
+  trace::ReuseDistanceAnalyzer analyzer(config.page_size);
+  // One warmup observation suffices for any warmup_passes: repeated passes
+  // leave the same final LRU stack order.
+  analyzer.observe(warmup);
+  AnalyticWorkload w;
+  w.footprint_pages = analyzer.distinct_pages();
+  analyzer.reset_stats();
+  analyzer.observe(measured);
+  w.profile = analyzer.profile();
+  w.duration_s = scaled.roi_seconds;
+  return w;
+}
+
+model::AnalyticEstimate analytic_estimate(const AnalyticWorkload& workload,
+                                          const ExperimentConfig& config) {
+  if (!analytic_supported(config)) {
+    throw std::invalid_argument("analytic estimator does not model policy: " +
+                                config.policy);
+  }
+  const MemorySizing sizing = size_memory(workload.footprint_pages, config);
+  return model::estimate(
+      workload.profile,
+      analytic_config_for(config, sizing, workload.duration_s));
+}
+
 RunResult run_workload(const synth::WorkloadProfile& profile,
                        std::uint64_t scale, const ExperimentConfig& config,
                        std::uint64_t seed) {

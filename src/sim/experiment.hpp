@@ -11,6 +11,7 @@
 
 #include "core/migration_config.hpp"
 #include "mem/technology.hpp"
+#include "model/analytic.hpp"
 #include "sample/config.hpp"
 #include "sim/engine.hpp"
 #include "synth/workload_profile.hpp"
@@ -102,5 +103,45 @@ RunResult run_experiment(const trace::Trace& warmup,
 RunResult run_workload(const synth::WorkloadProfile& profile,
                        std::uint64_t scale, const ExperimentConfig& config,
                        std::uint64_t seed = 42);
+
+// --- Analytic fast path (model/analytic) -------------------------------------
+
+/// True when `config` names a cell the analytic estimator models: the
+/// two-LRU scheme with static thresholds, or the LRU single-tier baselines.
+/// Adaptive thresholds, sampled policies and the other hybrid baselines must
+/// be simulated.
+bool analytic_supported(const ExperimentConfig& config);
+
+/// Maps one experiment cell onto the estimator's input: the raw frame counts
+/// from the Section V.A sizing plus ModelParams mirrored from the config.
+/// Lives here (not in model/) because MemorySizing and ExperimentConfig are
+/// sim-layer types — model stays below sim.
+model::AnalyticConfig analytic_config_for(const ExperimentConfig& config,
+                                          const MemorySizing& sizing,
+                                          double duration_s);
+
+/// A workload characterized once for any number of analytic evaluations:
+/// the measured-window reuse profile, the sizing footprint and the ROI wall
+/// time — the exact analytic mirror of run_workload (same generator seeds,
+/// same steady-state split; the analyzer observes the warmup trace, resets
+/// its statistics keeping the LRU stack, then observes the measured trace).
+struct AnalyticWorkload {
+  trace::ReuseProfile profile;
+  std::uint64_t footprint_pages = 0;  ///< Warmup-trace footprint (sizing).
+  double duration_s = 0.0;            ///< Scaled ROI seconds.
+};
+
+/// Characterizes `profile` (divided by `scale`) the way run_workload would
+/// run it. One O(n log n) pass; reuse the result across a whole config grid.
+AnalyticWorkload characterize_workload(const synth::WorkloadProfile& profile,
+                                       std::uint64_t scale,
+                                       const ExperimentConfig& config,
+                                       std::uint64_t seed = 42);
+
+/// The full fast path for one cell: size memory from the characterized
+/// footprint, map the config, estimate. Throws std::invalid_argument for
+/// unsupported policies (mirror of make_policy's contract).
+model::AnalyticEstimate analytic_estimate(const AnalyticWorkload& workload,
+                                          const ExperimentConfig& config);
 
 }  // namespace hymem::sim

@@ -72,6 +72,15 @@ const std::vector<TableSchema>& table_schemas() {
         "migration_budget", "drain_period", "amat_total_ns",
         "amat_vs_two_lru", "appr_total_nj", "nvm_writes_total", "promotions",
         "demotions", "sample_drops", "migration_backlog"}},
+      // bench_analytic: the closed-form estimator (model/analytic) against
+      // exhaustive simulation over a threshold/window grid — per-cell
+      // predicted-vs-simulated metrics and the frontier comparison (does
+      // the analytic ranking recover the true top cells?).
+      {"analytic-frontier",
+       {"workload", "policy", "variant", "read_threshold", "write_threshold",
+        "read_perc", "write_perc", "predicted_amat_ns", "simulated_amat_ns",
+        "amat_rel_err", "predicted_hit_ratio", "simulated_hit_ratio",
+        "predicted_rank", "simulated_rank", "in_top3_both"}},
   };
   return schemas;
 }

@@ -1,5 +1,6 @@
 #include "trace/reuse_distance.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/check.hpp"
@@ -8,6 +9,26 @@ namespace hymem::trace {
 
 namespace {
 constexpr std::uint64_t kCold = std::numeric_limits<std::uint64_t>::max();
+}
+
+std::uint64_t ReuseProfile::reads_below(std::uint64_t x) const {
+  if (x == 0 || distance.empty()) return 0;
+  // Largest index with distance[i] < x, i.e. distance[i] <= x - 1.
+  const auto it = std::upper_bound(distance.begin(), distance.end(), x - 1);
+  if (it == distance.begin()) return 0;
+  return reads_cum[static_cast<std::size_t>(it - distance.begin()) - 1];
+}
+
+std::uint64_t ReuseProfile::writes_below(std::uint64_t x) const {
+  if (x == 0 || distance.empty()) return 0;
+  const auto it = std::upper_bound(distance.begin(), distance.end(), x - 1);
+  if (it == distance.begin()) return 0;
+  return writes_cum[static_cast<std::size_t>(it - distance.begin()) - 1];
+}
+
+double ReuseProfile::frac_below(std::uint64_t x) const {
+  if (accesses == 0) return 0.0;
+  return static_cast<double>(below(x)) / static_cast<double>(accesses);
 }
 
 ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(std::uint64_t page_size,
@@ -32,7 +53,7 @@ std::int64_t ReuseDistanceAnalyzer::bit_sum(std::size_t pos) const {
   return s;
 }
 
-std::uint64_t ReuseDistanceAnalyzer::observe(Addr addr) {
+std::uint64_t ReuseDistanceAnalyzer::observe(Addr addr, AccessType type) {
   const PageId page = page_of(addr, page_size_);
   const std::uint64_t slot = time_++;
   // Grow the Fenwick tree (1-indexed internally). A plain resize would
@@ -56,9 +77,16 @@ std::uint64_t ReuseDistanceAnalyzer::observe(Addr addr) {
         bit_sum(static_cast<std::size_t>(prev));
     distance = static_cast<std::uint64_t>(newer);
     bit_add(static_cast<std::size_t>(prev), -1);
+    // Finite distances only: the log2 histogram grows to cover any value,
+    // and the exact CDF records it per type. Cold accesses never get here.
     hist_.add(distance);
+    ++finite_[distance][type == AccessType::kRead ? 0 : 1];
   } else {
-    ++cold_;
+    if (type == AccessType::kRead) {
+      ++cold_reads_;
+    } else {
+      ++cold_writes_;
+    }
   }
   bit_add(static_cast<std::size_t>(slot), +1);
   last_slot_[page] = slot;
@@ -67,7 +95,39 @@ std::uint64_t ReuseDistanceAnalyzer::observe(Addr addr) {
 }
 
 void ReuseDistanceAnalyzer::observe(const Trace& trace) {
-  for (const auto& a : trace) observe(a.addr);
+  for (const auto& a : trace) observe(a.addr, a.type);
+}
+
+void ReuseDistanceAnalyzer::reset_stats() {
+  cold_reads_ = 0;
+  cold_writes_ = 0;
+  hist_ = Log2Histogram{};
+  distances_.clear();
+  finite_.clear();
+  // last_slot_, bit_ and time_ survive: they ARE the LRU stack state.
+}
+
+ReuseProfile ReuseDistanceAnalyzer::profile() const {
+  ReuseProfile p;
+  p.accesses = distances_.size();
+  p.cold_reads = cold_reads_;
+  p.cold_writes = cold_writes_;
+  p.distinct_pages = last_slot_.size();
+  p.distance.reserve(finite_.size());
+  for (const auto& kv : finite_) p.distance.push_back(kv.first);
+  std::sort(p.distance.begin(), p.distance.end());
+  p.reads_cum.reserve(p.distance.size());
+  p.writes_cum.reserve(p.distance.size());
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  for (const std::uint64_t d : p.distance) {
+    const auto& counts = finite_.at(d);
+    reads += counts[0];
+    writes += counts[1];
+    p.reads_cum.push_back(reads);
+    p.writes_cum.push_back(writes);
+  }
+  return p;
 }
 
 double ReuseDistanceAnalyzer::lru_hit_ratio(std::uint64_t capacity_pages) const {

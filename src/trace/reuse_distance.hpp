@@ -4,13 +4,25 @@
 // fraction of accesses with reuse distance < C. The hybrid-memory sizing in
 // the paper (memory = 75% of footprint, DRAM = 10% of memory) makes the
 // reuse-distance profile the single most predictive workload feature, so the
-// characterization tooling exposes it directly.
+// characterization tooling exposes it directly — and the analytic estimator
+// (src/model/analytic) consumes the exported ReuseProfile to predict Table I
+// probabilities, Eq. 1 AMAT and NVM lifetime without replaying the trace.
+//
+// Cold-vs-finite accounting contract (pinned by tests/trace):
+//   * A first-touch access has no previous occurrence; its distance is
+//     *infinite*. It is counted in cold_count() (split per access type for
+//     the profile) and NEVER folded into the finite histogram or CDF — not
+//     even into the top bucket.
+//   * Every finite distance, however large, lands in the exact per-distance
+//     CDF and in a Log2Histogram bucket covering it (the histogram grows;
+//     no tail bucket silently swallows out-of-range values).
 //
 // Implementation: classic O(n log n) algorithm — a Fenwick tree over access
 // timestamps marks the most recent position of each page; the reuse distance
 // is the count of marked positions newer than the page's previous access.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +31,59 @@
 #include "util/histogram.hpp"
 
 namespace hymem::trace {
+
+/// Compact per-workload reuse-distance profile: the exact finite-distance
+/// CDF split by access type, plus the cold-miss counts. This is everything
+/// the analytic models need — computed once per workload, O(distinct
+/// distances) storage, O(log n) queries.
+struct ReuseProfile {
+  /// Accesses observed since construction (or the last reset_stats()).
+  std::uint64_t accesses = 0;
+  /// First-touch (infinite-distance) accesses per type. Cold accesses are
+  /// NOT part of the finite CDF below.
+  std::uint64_t cold_reads = 0;
+  std::uint64_t cold_writes = 0;
+  /// Distinct pages ever observed (lifetime — survives reset_stats(), since
+  /// the LRU stack state does too). This is the workload footprint the
+  /// Section V.A sizing rule consumes.
+  std::uint64_t distinct_pages = 0;
+
+  /// Ascending unique finite distances with parallel cumulative counts:
+  /// reads_cum[i] = read accesses with distance <= distance[i].
+  std::vector<std::uint64_t> distance;
+  std::vector<std::uint64_t> reads_cum;
+  std::vector<std::uint64_t> writes_cum;
+
+  std::uint64_t cold() const { return cold_reads + cold_writes; }
+  std::uint64_t finite_reads() const {
+    return reads_cum.empty() ? 0 : reads_cum.back();
+  }
+  std::uint64_t finite_writes() const {
+    return writes_cum.empty() ? 0 : writes_cum.back();
+  }
+  std::uint64_t finite_total() const {
+    return finite_reads() + finite_writes();
+  }
+  std::uint64_t reads() const { return finite_reads() + cold_reads; }
+  std::uint64_t writes() const { return finite_writes() + cold_writes; }
+
+  /// Read / write / total accesses with finite distance strictly below `x`
+  /// (an LRU of capacity x hits exactly these accesses). x = 0 returns 0;
+  /// cold accesses are never included, no matter how large x is.
+  std::uint64_t reads_below(std::uint64_t x) const;
+  std::uint64_t writes_below(std::uint64_t x) const;
+  std::uint64_t below(std::uint64_t x) const {
+    return reads_below(x) + writes_below(x);
+  }
+
+  /// below(x) as a fraction of all observed accesses (0 when empty).
+  double frac_below(std::uint64_t x) const;
+  /// Exact LRU hit ratio at `capacity_pages` (identical contract to
+  /// ReuseDistanceAnalyzer::lru_hit_ratio, served from the CDF).
+  double lru_hit_ratio(std::uint64_t capacity_pages) const {
+    return frac_below(capacity_pages);
+  }
+};
 
 /// Streaming LRU stack-distance analyzer over pages.
 class ReuseDistanceAnalyzer {
@@ -30,25 +95,41 @@ class ReuseDistanceAnalyzer {
 
   /// Feeds one access; returns its reuse distance in distinct pages, or
   /// UINT64_MAX for a cold (first-touch) access.
-  std::uint64_t observe(Addr addr);
+  std::uint64_t observe(Addr addr, AccessType type = AccessType::kRead);
 
-  /// Feeds a whole trace.
+  /// Feeds a whole trace (typed: read/write split lands in the profile).
   void observe(const Trace& trace);
 
-  /// Number of cold (first-touch) accesses so far.
-  std::uint64_t cold_count() const { return cold_; }
-  /// Total accesses observed.
-  std::uint64_t access_count() const { return time_; }
+  /// Forgets the collected statistics (histogram, CDF, cold counts, recorded
+  /// distances) while KEEPING the LRU stack state — the analyzer's
+  /// counterpart of the engine's post-warmup accounting reset. Feed the
+  /// warmup trace, reset_stats(), feed the measured trace: the profile then
+  /// covers exactly the measured window, with warmup-resident pages warm.
+  void reset_stats();
 
-  /// Histogram of finite reuse distances (log2 buckets).
+  /// Number of cold (first-touch) accesses since the last reset.
+  std::uint64_t cold_count() const { return cold_reads_ + cold_writes_; }
+  /// Total accesses observed since construction (the stack clock; NOT reset
+  /// by reset_stats()).
+  std::uint64_t access_count() const { return time_; }
+  /// Accesses observed since the last reset (what the profile covers).
+  std::uint64_t window_access_count() const { return distances_.size(); }
+  /// Distinct pages ever observed (lifetime footprint).
+  std::uint64_t distinct_pages() const { return last_slot_.size(); }
+
+  /// Histogram of finite reuse distances (log2 buckets, grows on demand).
   const Log2Histogram& histogram() const { return hist_; }
+
+  /// Exports the compact profile (sorted exact CDF + cold counts) covering
+  /// the window since the last reset.
+  ReuseProfile profile() const;
 
   /// Exact hit ratio a fully-associative LRU of `capacity_pages` would see
   /// on the observed stream (cold misses count as misses). Exact because it
   /// replays the recorded per-access distances.
   double lru_hit_ratio(std::uint64_t capacity_pages) const;
 
-  /// Hit-ratio curve at the given capacities.
+  /// Miss-ratio curve at the given capacities (1 - hit ratio each).
   std::vector<double> miss_ratio_curve(const std::vector<std::uint64_t>& capacities) const;
 
  private:
@@ -58,11 +139,14 @@ class ReuseDistanceAnalyzer {
 
   std::uint64_t page_size_;
   std::uint64_t time_ = 0;
-  std::uint64_t cold_ = 0;
+  std::uint64_t cold_reads_ = 0;
+  std::uint64_t cold_writes_ = 0;
   std::vector<std::int64_t> bit_;
   std::unordered_map<PageId, std::uint64_t> last_slot_;
   Log2Histogram hist_;
   std::vector<std::uint64_t> distances_;  // per-access; UINT64_MAX = cold
+  /// Exact finite-distance counts: distance -> {reads, writes}.
+  std::unordered_map<std::uint64_t, std::array<std::uint64_t, 2>> finite_;
 };
 
 }  // namespace hymem::trace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace hymem::model {
 namespace {
 
@@ -60,6 +62,33 @@ TEST(Probabilities, InconsistencyDetectable) {
   c.dram_read_hits = 3;  // 7 accesses unaccounted
   const auto p = probabilities(c);
   EXPECT_FALSE(p.is_consistent());
+}
+
+TEST(Probabilities, ZeroAccessRunYieldsConsistentZeroStruct) {
+  // Empty or warmup-only runs must degrade gracefully: no division by zero,
+  // an all-zero struct, and is_consistent() accepting it.
+  const auto p = probabilities(EventCounts{});
+  EXPECT_DOUBLE_EQ(p.hit_dram, 0.0);
+  EXPECT_DOUBLE_EQ(p.hit_nvm, 0.0);
+  EXPECT_DOUBLE_EQ(p.miss, 0.0);
+  EXPECT_DOUBLE_EQ(p.mig_to_dram, 0.0);
+  EXPECT_DOUBLE_EQ(p.disk_to_dram, 0.0);
+  EXPECT_TRUE(p.is_consistent());
+  EXPECT_TRUE(TableIProbabilities{}.is_consistent());
+}
+
+TEST(Probabilities, NonFiniteFieldsAreInconsistent) {
+  const auto base = probabilities(sample_counts());
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    auto p = base;
+    p.read_nvm = bad;  // conditional split: does not disturb the unity sum
+    EXPECT_FALSE(p.is_consistent());
+    auto z = TableIProbabilities{};
+    z.mig_to_dram = bad;
+    EXPECT_FALSE(z.is_consistent());
+  }
 }
 
 }  // namespace

@@ -24,10 +24,12 @@ TEST(FigureSchemas, RegistryCoversEveryPaperFigure) {
                                         "fig4a", "fig4b", "fig4c"}));
   std::set<std::string> tables;
   for (const auto& s : table_schemas()) tables.insert(s.id);
-  // "timeline" and "sampled-frontier" are not paper artifacts but ride in
-  // the same registry so their column lists are pinned the same way.
+  // "timeline", "sampled-frontier" and "analytic-frontier" are not paper
+  // artifacts but ride in the same registry so their column lists are
+  // pinned the same way.
   EXPECT_EQ(tables, (std::set<std::string>{"table1", "table3", "timeline",
-                                           "sampled-frontier"}));
+                                           "sampled-frontier",
+                                           "analytic-frontier"}));
 }
 
 TEST(FigureSchemas, LookupReturnsTheRegisteredEntryOrThrows) {
@@ -105,6 +107,18 @@ TEST(FigureSchemas, GoldenSampledFrontierColumns) {
                     "amat_total_ns", "amat_vs_two_lru", "appr_total_nj",
                     "nvm_writes_total", "promotions", "demotions",
                     "sample_drops", "migration_backlog"}));
+}
+
+// bench_analytic's export: closed-form predictions against exhaustive
+// simulation over a threshold/window grid, with predicted-vs-simulated
+// rank columns for the frontier comparison.
+TEST(FigureSchemas, GoldenAnalyticFrontierColumns) {
+  EXPECT_EQ(table_schema("analytic-frontier").columns,
+            (Header{"workload", "policy", "variant", "read_threshold",
+                    "write_threshold", "read_perc", "write_perc",
+                    "predicted_amat_ns", "simulated_amat_ns", "amat_rel_err",
+                    "predicted_hit_ratio", "simulated_hit_ratio",
+                    "predicted_rank", "simulated_rank", "in_top3_both"}));
 }
 
 // The flat RunResult CSV projection the sweep runner splices into its

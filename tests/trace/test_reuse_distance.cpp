@@ -105,6 +105,131 @@ TEST(ReuseDistance, HistogramCollectsFiniteDistances) {
   EXPECT_EQ(rd.histogram().total(), 1u);  // only the distance-2 reuse
 }
 
+// --- Cold-vs-finite accounting boundary tests -------------------------------
+// These pin the contract in the header: cold (first-touch) accesses carry
+// infinite distance and never land in the finite histogram or CDF; every
+// finite distance is represented exactly, however large.
+
+TEST(ReuseDistance, AllColdTraceHasEmptyHistogram) {
+  ReuseDistanceAnalyzer rd(1);
+  for (PageId p = 0; p < 100; ++p) EXPECT_EQ(rd.observe(p), kCold);
+  EXPECT_EQ(rd.cold_count(), 100u);
+  EXPECT_EQ(rd.histogram().total(), 0u);  // cold never folded into a bucket
+  const ReuseProfile profile = rd.profile();
+  EXPECT_EQ(profile.cold(), 100u);
+  EXPECT_EQ(profile.finite_total(), 0u);
+  EXPECT_TRUE(profile.distance.empty());
+  // Even an "infinite" capacity hits nothing: cold misses stay misses.
+  EXPECT_DOUBLE_EQ(rd.lru_hit_ratio(std::numeric_limits<std::uint64_t>::max() - 1), 0.0);
+  EXPECT_EQ(profile.below(std::numeric_limits<std::uint64_t>::max()), 0u);
+}
+
+TEST(ReuseDistance, SinglePageTrace) {
+  ReuseDistanceAnalyzer rd(4096);
+  EXPECT_EQ(rd.observe(Addr{123}), kCold);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(rd.observe(Addr{456}), 0u);
+  EXPECT_EQ(rd.cold_count(), 1u);
+  EXPECT_EQ(rd.distinct_pages(), 1u);
+  EXPECT_EQ(rd.histogram().total(), 9u);
+  // All finite mass sits in bucket 0 (value 0).
+  EXPECT_EQ(rd.histogram().bucket(0), 9u);
+  EXPECT_DOUBLE_EQ(rd.lru_hit_ratio(1), 0.9);
+}
+
+TEST(ReuseDistance, DistanceExactlyAtBucketEdge) {
+  // Drive distances that land exactly on log2 bucket boundaries (2^(k-1) and
+  // 2^k - 1) and check each is counted in ITS bucket, not a neighbour.
+  for (const std::uint64_t d : {1u, 2u, 3u, 4u, 7u, 8u, 15u, 16u, 31u, 32u}) {
+    ReuseDistanceAnalyzer rd(1);
+    // Touch pages 0..d (d+1 distinct), then re-touch page 0: exactly d
+    // distinct pages intervened.
+    for (PageId p = 0; p <= d; ++p) rd.observe(p);
+    EXPECT_EQ(rd.observe(PageId{0}), d);
+    const std::size_t idx = Log2Histogram::bucket_index(d);
+    EXPECT_EQ(rd.histogram().bucket(idx), 1u) << "distance " << d;
+    EXPECT_GE(d, Log2Histogram::bucket_lo(idx));
+    EXPECT_LE(d, Log2Histogram::bucket_hi(idx));
+    // The exact CDF has it too: strictly-below semantics flip at d -> d+1.
+    const ReuseProfile profile = rd.profile();
+    EXPECT_EQ(profile.below(d), 0u);
+    EXPECT_EQ(profile.below(d + 1), 1u);
+  }
+}
+
+TEST(ReuseDistance, LargeFiniteDistanceNotSwallowedByTail) {
+  // A finite distance far beyond any pre-existing bucket must grow the
+  // histogram rather than vanish or clamp into the last bucket.
+  constexpr std::uint64_t kSpan = 5000;  // distance 5000 -> bucket [4096,8191]
+  ReuseDistanceAnalyzer rd(1);
+  for (PageId p = 0; p <= kSpan; ++p) rd.observe(p);
+  EXPECT_EQ(rd.observe(PageId{0}), kSpan);
+  const std::size_t idx = Log2Histogram::bucket_index(kSpan);
+  EXPECT_EQ(rd.histogram().bucket(idx), 1u);
+  EXPECT_EQ(rd.histogram().total(), 1u);
+  EXPECT_EQ(rd.profile().below(kSpan + 1), 1u);
+}
+
+// --- Typed profile + warmup reset -------------------------------------------
+
+TEST(ReuseDistance, ProfileSplitsReadsAndWrites) {
+  ReuseDistanceAnalyzer rd(1);
+  rd.observe(PageId{0}, AccessType::kRead);   // cold read
+  rd.observe(PageId{1}, AccessType::kWrite);  // cold write
+  rd.observe(PageId{0}, AccessType::kWrite);  // distance 1, write
+  rd.observe(PageId{0}, AccessType::kRead);   // distance 0, read
+  rd.observe(PageId{1}, AccessType::kRead);   // distance 1, read
+  const ReuseProfile p = rd.profile();
+  EXPECT_EQ(p.accesses, 5u);
+  EXPECT_EQ(p.cold_reads, 1u);
+  EXPECT_EQ(p.cold_writes, 1u);
+  EXPECT_EQ(p.finite_reads(), 2u);
+  EXPECT_EQ(p.finite_writes(), 1u);
+  EXPECT_EQ(p.reads(), 3u);
+  EXPECT_EQ(p.writes(), 2u);
+  // CDF: distance 0 holds one read; distance 1 holds one read + one write.
+  EXPECT_EQ(p.reads_below(1), 1u);
+  EXPECT_EQ(p.writes_below(1), 0u);
+  EXPECT_EQ(p.reads_below(2), 2u);
+  EXPECT_EQ(p.writes_below(2), 1u);
+  EXPECT_DOUBLE_EQ(p.frac_below(2), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(p.lru_hit_ratio(2), rd.lru_hit_ratio(2));
+}
+
+TEST(ReuseDistance, ResetStatsKeepsLruStackState) {
+  // Warmup pass touches A,B; reset; measured pass re-touches them. With the
+  // stack preserved the measured accesses are finite-distance, not cold.
+  ReuseDistanceAnalyzer rd(1);
+  rd.observe(PageId{0});
+  rd.observe(PageId{1});
+  rd.reset_stats();
+  EXPECT_EQ(rd.cold_count(), 0u);
+  EXPECT_EQ(rd.window_access_count(), 0u);
+  EXPECT_EQ(rd.histogram().total(), 0u);
+  EXPECT_EQ(rd.distinct_pages(), 2u);  // footprint survives
+  EXPECT_EQ(rd.observe(PageId{0}), 1u);  // B intervened: distance 1, not cold
+  EXPECT_EQ(rd.observe(PageId{2}), kCold);  // genuinely new page still cold
+  EXPECT_EQ(rd.cold_count(), 1u);
+  const ReuseProfile p = rd.profile();
+  EXPECT_EQ(p.accesses, 2u);          // measured window only
+  EXPECT_EQ(p.distinct_pages, 3u);    // lifetime footprint
+  EXPECT_EQ(rd.access_count(), 4u);   // stack clock never resets
+}
+
+TEST(ReuseDistance, ProfileMatchesAnalyzerAcrossRandomStream) {
+  Rng rng(99);
+  ReuseDistanceAnalyzer rd(1);
+  for (int i = 0; i < 4000; ++i) {
+    rd.observe(rng.next_below(128),
+               rng.next_below(4) == 0 ? AccessType::kWrite : AccessType::kRead);
+  }
+  const ReuseProfile p = rd.profile();
+  EXPECT_EQ(p.accesses, 4000u);
+  EXPECT_EQ(p.cold() + p.finite_total(), 4000u);
+  for (std::uint64_t c : {1u, 2u, 5u, 17u, 64u, 128u, 200u}) {
+    EXPECT_DOUBLE_EQ(p.lru_hit_ratio(c), rd.lru_hit_ratio(c)) << "cap " << c;
+  }
+}
+
 TEST(ReuseDistance, LoopPatternDistanceEqualsLoopSizeMinusOne) {
   // Cyclic access over N pages has reuse distance N-1 for every reuse.
   constexpr std::uint64_t kN = 10;
