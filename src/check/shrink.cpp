@@ -75,4 +75,47 @@ trace::Trace shrink_trace(const trace::Trace& failing,
   return from_accesses(best, name);
 }
 
+std::vector<synth::TenantOp> shrink_tenant_ops(
+    const std::vector<synth::TenantOp>& failing,
+    const TenantOpsPredicate& still_fails,
+    std::size_t max_predicate_calls) {
+  HYMEM_CHECK_MSG(!failing.empty(), "cannot shrink an empty op stream");
+  std::vector<synth::TenantOp> best = failing;
+  std::size_t calls = 0;
+  const auto fails = [&](const std::vector<synth::TenantOp>& candidate) {
+    ++calls;
+    return !candidate.empty() && still_fails(candidate);
+  };
+
+  // Same delta-debugging loop as shrink_trace: remove [i, i+chunk)
+  // wherever the failure survives, halving the chunk to single ops, and
+  // restarting after any pass that removed something.
+  bool progress = true;
+  while (progress && calls < max_predicate_calls) {
+    progress = false;
+    for (std::size_t chunk = best.size() / 2; chunk >= 1; chunk /= 2) {
+      for (std::size_t i = 0;
+           i + chunk <= best.size() && calls < max_predicate_calls;) {
+        std::vector<synth::TenantOp> candidate;
+        candidate.reserve(best.size() - chunk);
+        candidate.insert(candidate.end(), best.begin(),
+                         best.begin() + static_cast<std::ptrdiff_t>(i));
+        candidate.insert(
+            candidate.end(),
+            best.begin() + static_cast<std::ptrdiff_t>(i + chunk),
+            best.end());
+        if (fails(candidate)) {
+          best = std::move(candidate);
+          progress = true;
+          // Do not advance: the next chunk shifted into position i.
+        } else {
+          ++i;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return best;
+}
+
 }  // namespace hymem::check

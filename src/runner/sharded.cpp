@@ -14,6 +14,7 @@
 #include "synth/generator.hpp"
 #include "trace/block_source.hpp"
 #include "trace/trace_stats.hpp"
+#include "util/budget.hpp"
 #include "util/check.hpp"
 #include "util/flat_page_map.hpp"
 
@@ -25,57 +26,6 @@ namespace {
 /// never depends on trace order or scheduling.
 unsigned shard_of(PageId page, unsigned shards) {
   return static_cast<unsigned>(util::hash_page_id(page) % shards);
-}
-
-/// Splits `total` into `weights.size()` integer shares proportional to the
-/// weights (largest-remainder rounding, ties to the lowest index), then
-/// enforces a floor of 1 on every share with a positive weight by taking
-/// from the largest shares. Shares sum to exactly `total`.
-std::vector<std::uint64_t> split_budget(std::uint64_t total,
-                                        const std::vector<std::uint64_t>& weights) {
-  const std::size_t n = weights.size();
-  std::vector<std::uint64_t> shares(n, 0);
-  if (total == 0) return shares;
-  std::uint64_t weight_sum = 0;
-  for (const std::uint64_t w : weights) weight_sum += w;
-  if (weight_sum == 0) {
-    shares[0] = total;
-    return shares;
-  }
-  // Floor allocation plus largest-remainder distribution (exact in integer
-  // arithmetic: remainder_i = total * w_i mod weight_sum).
-  std::uint64_t allocated = 0;
-  std::vector<std::uint64_t> remainders(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t scaled = total * weights[i];
-    shares[i] = scaled / weight_sum;
-    remainders[i] = scaled % weight_sum;
-    allocated += shares[i];
-  }
-  std::uint64_t leftover = total - allocated;
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&remainders](std::size_t a, std::size_t b) {
-                     return remainders[a] > remainders[b];
-                   });
-  for (std::size_t k = 0; leftover > 0 && k < n; ++k, --leftover) {
-    ++shares[order[k]];
-  }
-  // Floor of 1 for every populated shard, funded by the largest shares.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (weights[i] == 0 || shares[i] > 0) continue;
-    const std::size_t donor = static_cast<std::size_t>(
-        std::max_element(shares.begin(), shares.end()) - shares.begin());
-    if (shares[donor] <= 1) {
-      throw std::invalid_argument(
-          "partitioned sharding: budget too small to give every shard a "
-          "frame — lower --shards or grow the workload");
-    }
-    --shares[donor];
-    shares[i] = 1;
-  }
-  return shares;
 }
 
 os::VmmConfig shard_vmm_config(std::uint64_t dram_frames,
@@ -132,10 +82,8 @@ sim::RunResult run_sharded_experiment(const trace::Trace& warmup,
         "partitioned sharding needs --shards >= 2 (use the serial or "
         "exact-shard engine otherwise)");
   }
-  if (config.policy.rfind("sampled-", 0) == 0) {
-    throw std::invalid_argument(
-        "partitioned sharding does not support sampled-* policies (the "
-        "hotness tap is a global structure)");
+  if (!sim::is_shardable(config.policy)) {
+    sim::throw_unshardable_policy("partitioned sharding", config.policy);
   }
   // Partition both traces by page, preserving order within each shard.
   std::vector<trace::Trace> shard_warmup(shards);
@@ -163,9 +111,9 @@ sim::RunResult run_sharded_experiment(const trace::Trace& warmup,
   for (const std::uint64_t f : shard_footprint) total_footprint += f;
   const sim::MemorySizing sizing = sim::size_memory(total_footprint, config);
   const std::vector<std::uint64_t> dram_split =
-      split_budget(sizing.dram_frames, shard_footprint);
+      util::split_budget(sizing.dram_frames, shard_footprint);
   const std::vector<std::uint64_t> nvm_split =
-      split_budget(sizing.nvm_frames, shard_footprint);
+      util::split_budget(sizing.nvm_frames, shard_footprint);
 
   // Fan the shards out; each task owns its slot, errors are captured and
   // rethrown in shard order so failures are deterministic too.

@@ -1,0 +1,229 @@
+#include "synth/tenant_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+#include "util/zipf.hpp"
+
+namespace hymem::synth {
+
+namespace {
+
+std::uint64_t hot_set_size(const TenantProfile& profile) {
+  const auto k = static_cast<std::uint64_t>(
+      std::ceil(profile.hot_fraction * static_cast<double>(profile.pages)));
+  return std::clamp<std::uint64_t>(k, 1, profile.pages);
+}
+
+/// Per-tenant generator state: constructed at (re-)arrival so a returning
+/// tenant restarts like a fresh process (scan cursor at 0). The Zipf alias
+/// table is built once per tenant and kept — construction consumes no
+/// randomness, so caching it never perturbs the stream.
+struct TenantGenState {
+  std::uint64_t scan_cursor = 0;
+};
+
+}  // namespace
+
+std::string to_string(TenantWorkloadKind kind) {
+  switch (kind) {
+    case TenantWorkloadKind::kGupsHotset: return "gups-hotset";
+    case TenantWorkloadKind::kZipfKv: return "zipf-kv";
+    default: return "scan";
+  }
+}
+
+std::vector<PageId> TenantStream::hot_pages(std::uint32_t tenant) const {
+  HYMEM_CHECK(tenant < tenants.size());
+  const std::uint64_t k = hot_set_size(tenants[tenant]);
+  std::vector<PageId> pages(k);
+  for (std::uint64_t i = 0; i < k; ++i) pages[i] = i;
+  return pages;
+}
+
+TenantStream generate_tenant_stream(const TenantChurnSpec& spec,
+                                    const GeneratorOptions& options) {
+  for (const TenantProfile& p : spec.tenants) {
+    if (p.pages == 0) {
+      throw std::invalid_argument("tenant profile needs pages >= 1");
+    }
+    if (p.rate_weight == 0) {
+      throw std::invalid_argument("tenant profile needs rate_weight >= 1");
+    }
+  }
+  if (spec.initial_active > spec.tenants.size()) {
+    throw std::invalid_argument("initial_active exceeds tenant count");
+  }
+
+  TenantStream stream;
+  stream.name = spec.name;
+  stream.page_size = options.page_size;
+  stream.tenants = spec.tenants;
+
+  const auto n = static_cast<std::uint32_t>(spec.tenants.size());
+  std::uint64_t state = spec.seed;
+  Rng churn_rng(splitmix64(state));
+  Rng access_rng(splitmix64(state));
+
+  // Active tenants stay sorted by id so every weighted draw walks a
+  // canonical order; pending tenants arrive in id order, re-arrivals in
+  // departure (FIFO) order.
+  std::vector<std::uint32_t> active;
+  std::deque<std::uint32_t> pending;
+  std::deque<std::uint32_t> departed;
+  std::vector<TenantGenState> gen(n);
+  std::vector<std::unique_ptr<ZipfSampler>> zipf(n);
+
+  const auto admit = [&](std::uint32_t tenant) {
+    if (tenant >= n) return;
+    const auto it = std::lower_bound(active.begin(), active.end(), tenant);
+    if (it != active.end() && *it == tenant) return;  // already active
+    active.insert(it, tenant);
+    gen[tenant] = TenantGenState{};
+    pending.erase(std::remove(pending.begin(), pending.end(), tenant),
+                  pending.end());
+    departed.erase(std::remove(departed.begin(), departed.end(), tenant),
+                   departed.end());
+    stream.ops.push_back({TenantOp::Kind::kArrive, tenant, {}});
+  };
+  const auto remove_active = [&](std::uint32_t tenant) {
+    const auto it = std::lower_bound(active.begin(), active.end(), tenant);
+    if (it == active.end() || *it != tenant) return;
+    active.erase(it);
+    if (spec.rearrival) departed.push_back(tenant);
+    stream.ops.push_back({TenantOp::Kind::kDepart, tenant, {}});
+  };
+
+  for (std::uint32_t t = 0; t < spec.initial_active; ++t) admit(t);
+  for (std::uint32_t t = spec.initial_active; t < n; ++t) {
+    pending.push_back(t);
+  }
+
+  // Explicit schedule in at_access order; stable sort preserves the spec's
+  // ordering of same-tick events.
+  std::vector<TenantScheduleEvent> schedule = spec.schedule;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const TenantScheduleEvent& a,
+                      const TenantScheduleEvent& b) {
+                     return a.at_access < b.at_access;
+                   });
+  std::size_t next_event = 0;
+  bool flash_fired = spec.flash_arrivals == 0;
+
+  const auto pop_next_arrival = [&]() -> bool {
+    if (!pending.empty()) {
+      admit(pending.front());
+      return true;
+    }
+    if (spec.rearrival && !departed.empty()) {
+      admit(departed.front());
+      return true;
+    }
+    return false;
+  };
+
+  while (stream.accesses < spec.total_accesses) {
+    // Due explicit events first.
+    while (next_event < schedule.size() &&
+           schedule[next_event].at_access <= stream.accesses) {
+      const TenantScheduleEvent& e = schedule[next_event++];
+      if (e.arrive) {
+        admit(e.tenant);
+      } else {
+        remove_active(e.tenant);
+      }
+    }
+    // Flash crowd: a burst of simultaneous arrivals.
+    if (!flash_fired && stream.accesses >= spec.flash_at) {
+      flash_fired = true;
+      for (std::uint32_t i = 0; i < spec.flash_arrivals; ++i) {
+        if (!pop_next_arrival()) break;
+      }
+    }
+    // Stochastic churn.
+    if (spec.arrival_prob > 0.0 && churn_rng.next_bool(spec.arrival_prob)) {
+      pop_next_arrival();
+    }
+    if (spec.departure_prob > 0.0 && !active.empty() &&
+        churn_rng.next_bool(spec.departure_prob)) {
+      remove_active(active[churn_rng.next_below(active.size())]);
+    }
+    // Nobody to serve: fast-forward to the next possible arrival (explicit
+    // events can't fire — the access count is frozen — so pull from the
+    // pending/departed pools; if those are dry too, pull the next explicit
+    // arrival forward; otherwise the stream ends here).
+    if (active.empty()) {
+      if (pop_next_arrival()) continue;
+      bool advanced = false;
+      while (next_event < schedule.size()) {
+        const TenantScheduleEvent& e = schedule[next_event++];
+        if (e.arrive && e.tenant < n) {
+          admit(e.tenant);
+          advanced = true;
+          break;
+        }
+      }
+      if (advanced) continue;
+      break;
+    }
+
+    // Weighted tenant draw over the sorted active set.
+    std::uint64_t total_weight = 0;
+    for (const std::uint32_t t : active) {
+      total_weight += spec.tenants[t].rate_weight;
+    }
+    std::uint64_t draw = access_rng.next_below(total_weight);
+    std::uint32_t tenant = active.back();
+    for (const std::uint32_t t : active) {
+      const std::uint64_t w = spec.tenants[t].rate_weight;
+      if (draw < w) {
+        tenant = t;
+        break;
+      }
+      draw -= w;
+    }
+
+    // One access from the tenant's profile.
+    const TenantProfile& profile = spec.tenants[tenant];
+    PageId page = 0;
+    AccessType type = access_rng.next_bool(profile.write_fraction)
+                          ? AccessType::kWrite
+                          : AccessType::kRead;
+    switch (profile.kind) {
+      case TenantWorkloadKind::kGupsHotset: {
+        const std::uint64_t hot = hot_set_size(profile);
+        page = access_rng.next_bool(profile.hot_locality)
+                   ? access_rng.next_below(hot)
+                   : access_rng.next_below(profile.pages);
+        break;
+      }
+      case TenantWorkloadKind::kZipfKv: {
+        if (zipf[tenant] == nullptr) {
+          zipf[tenant] = std::make_unique<ZipfSampler>(profile.pages,
+                                                       profile.zipf_alpha);
+        }
+        page = zipf[tenant]->sample(access_rng);
+        break;
+      }
+      default: {  // kScan: sequential sweep, no reuse until wraparound.
+        page = gen[tenant].scan_cursor;
+        gen[tenant].scan_cursor = (page + 1) % profile.pages;
+        break;
+      }
+    }
+    TenantOp op;
+    op.kind = TenantOp::Kind::kAccess;
+    op.tenant = tenant;
+    op.access = {page * options.page_size, type};
+    stream.ops.push_back(op);
+    ++stream.accesses;
+  }
+  return stream;
+}
+
+}  // namespace hymem::synth

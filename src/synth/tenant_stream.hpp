@@ -1,0 +1,117 @@
+// Multi-tenant traffic synthesis: N independent address spaces interleaved
+// into one serving stream, with tenant churn (arrivals, departures, flash
+// crowds).
+//
+// The single-workload generator (synth/generator) models one PARSEC-shaped
+// process; this layer models the serving-system axis the paper never
+// touches: many small address spaces competing for one DRAM/NVM budget.
+// The per-tenant profiles follow the related repos' serving workloads:
+//   * kGupsHotset — skpupil's gups.c hot-set GUPS: a uniform hot set inside
+//     a larger uniform footprint, read-modify-write flavoured;
+//   * kZipfKv    — hemem-boost's KV-store harness shape: Zipf-ranked keys
+//     (rank 0 most popular), GET/PUT mix;
+//   * kScan      — an antagonist: a sequential sweep over the whole tenant
+//     footprint with no reuse, the classic isolation attack (one tenant's
+//     scan must not evict everyone's hot set).
+//
+// Every stream is a pure function of (spec, options): churn decisions and
+// access draws come from one splitmix64-seeded generator, so a stream is
+// reproducible from its seed alone regardless of how the consumer shards
+// or parallelizes the replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/generator.hpp"
+#include "trace/access.hpp"
+
+namespace hymem::synth {
+
+/// Traffic shape of one tenant's address space.
+enum class TenantWorkloadKind : std::uint8_t {
+  kGupsHotset = 0,
+  kZipfKv = 1,
+  kScan = 2,
+};
+
+std::string to_string(TenantWorkloadKind kind);
+
+/// Generator parameters for one tenant.
+struct TenantProfile {
+  TenantWorkloadKind kind = TenantWorkloadKind::kZipfKv;
+  std::uint64_t pages = 256;   ///< Tenant-local footprint in pages (>= 1).
+  /// Fraction of the footprint forming the hot set (GUPS target region;
+  /// also the "hot pages" set the retention metric watches for every kind).
+  double hot_fraction = 0.1;
+  double hot_locality = 0.9;   ///< GUPS: P(access lands in the hot set).
+  double zipf_alpha = 0.99;    ///< KV: popularity skew over key ranks.
+  double write_fraction = 0.1; ///< GUPS update rate / KV PUT rate.
+  /// Interleave weight: relative request rate among active tenants.
+  std::uint64_t rate_weight = 1;
+};
+
+/// One explicit churn event, applied when the stream reaches `at_access`
+/// emitted accesses. Explicit events make boundary schedules (0 tenants,
+/// all-depart-then-arrive) exactly scriptable; the stochastic knobs below
+/// layer on top for fuzzing.
+struct TenantScheduleEvent {
+  std::uint64_t at_access = 0;
+  std::uint32_t tenant = 0;
+  bool arrive = true;  ///< false = depart.
+};
+
+/// The whole multi-tenant scenario.
+struct TenantChurnSpec {
+  std::string name = "tenants";
+  std::vector<TenantProfile> tenants;
+  std::uint64_t total_accesses = 0;
+  /// Tenants [0, initial_active) are admitted before the first access; the
+  /// rest are pending and join via arrivals or the flash crowd.
+  std::uint32_t initial_active = 0;
+  /// Per emitted access: probability the next pending tenant arrives.
+  double arrival_prob = 0.0;
+  /// Per emitted access: probability one random active tenant departs.
+  double departure_prob = 0.0;
+  /// Departed tenants become pending again (re-arrival churn) instead of
+  /// leaving for good.
+  bool rearrival = false;
+  /// Flash crowd: at `flash_at` emitted accesses, the next `flash_arrivals`
+  /// pending tenants all arrive at once (0 arrivals = disabled).
+  std::uint64_t flash_at = 0;
+  std::uint32_t flash_arrivals = 0;
+  /// Explicit schedule, applied in at_access order (stable within a tick).
+  std::vector<TenantScheduleEvent> schedule;
+  std::uint64_t seed = 42;
+};
+
+/// One operation of the interleaved stream.
+struct TenantOp {
+  enum class Kind : std::uint8_t { kAccess = 0, kArrive = 1, kDepart = 2 };
+  Kind kind = Kind::kAccess;
+  std::uint32_t tenant = 0;
+  trace::MemAccess access;  ///< kAccess only.
+};
+
+/// The generated scenario: ops in serving order plus the per-tenant
+/// metadata consumers need (profiles for hot-set queries, the page size the
+/// addresses were laid out with).
+struct TenantStream {
+  std::string name;
+  std::uint64_t page_size = 4096;
+  std::vector<TenantProfile> tenants;  ///< Indexed by tenant id.
+  std::vector<TenantOp> ops;
+  std::uint64_t accesses = 0;  ///< Count of kAccess ops.
+
+  /// The tenant's hot set as local page IDs: the first
+  /// ceil(hot_fraction * pages) pages (GUPS hot region; KV top ranks).
+  std::vector<PageId> hot_pages(std::uint32_t tenant) const;
+};
+
+/// Generates one stream. Deterministic in (spec, options); options.seed is
+/// ignored in favour of spec.seed so one scenario seed pins everything.
+TenantStream generate_tenant_stream(const TenantChurnSpec& spec,
+                                    const GeneratorOptions& options = {});
+
+}  // namespace hymem::synth

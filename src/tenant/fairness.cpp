@@ -1,0 +1,33 @@
+#include "tenant/fairness.hpp"
+
+#include "util/stats.hpp"
+
+namespace hymem::tenant {
+
+double jain_fairness(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero sample: perfectly equal
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+FairnessSummary summarize_fairness(
+    std::span<const double> per_tenant_amat_ns) {
+  FairnessSummary s;
+  if (per_tenant_amat_ns.empty()) return s;
+  s.tenants = static_cast<std::uint32_t>(per_tenant_amat_ns.size());
+  const std::vector<double> xs(per_tenant_amat_ns.begin(),
+                               per_tenant_amat_ns.end());
+  s.amat_p50_ns = quantile(xs, 0.50);
+  s.amat_p95_ns = quantile(xs, 0.95);
+  s.amat_p99_ns = quantile(xs, 0.99);
+  s.jain_index = jain_fairness(per_tenant_amat_ns);
+  return s;
+}
+
+}  // namespace hymem::tenant

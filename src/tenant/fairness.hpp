@@ -1,0 +1,36 @@
+// Fairness and isolation metrics over per-tenant performance.
+//
+// The serving question the paper's single-process evaluation never asks:
+// when N address spaces share one DRAM/NVM budget, how unevenly is the
+// resulting AMAT distributed, and can one tenant's antagonistic traffic
+// (a scan) evict everyone else's hot set? The summary here is consumed by
+// the tenant timeline, the end-of-run TenantGroupResult and the
+// bench_tenants "tenant-fairness" table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hymem::tenant {
+
+/// Distribution summary of per-tenant AMATs (nanoseconds).
+struct FairnessSummary {
+  std::uint32_t tenants = 0;   ///< Tenants with served accesses.
+  double amat_p50_ns = 0.0;
+  double amat_p95_ns = 0.0;
+  double amat_p99_ns = 0.0;
+  /// Jain's fairness index over the per-tenant AMATs: 1.0 when every
+  /// tenant sees the same AMAT, approaching 1/n as one tenant dominates.
+  double jain_index = 0.0;
+};
+
+/// Jain's index (sum x)^2 / (n * sum x^2); 0 for an empty sample, 1 for a
+/// constant one. Values must be non-negative.
+double jain_fairness(std::span<const double> xs);
+
+/// Percentiles (linear interpolation) + Jain index of a per-tenant AMAT
+/// sample. Empty input returns the zero summary.
+FairnessSummary summarize_fairness(std::span<const double> per_tenant_amat_ns);
+
+}  // namespace hymem::tenant

@@ -1,0 +1,55 @@
+#include "util/budget.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hymem::util {
+
+std::vector<std::uint64_t> split_budget(
+    std::uint64_t total, const std::vector<std::uint64_t>& weights) {
+  const std::size_t n = weights.size();
+  std::vector<std::uint64_t> shares(n, 0);
+  if (total == 0 || n == 0) return shares;
+  std::uint64_t weight_sum = 0;
+  for (const std::uint64_t w : weights) weight_sum += w;
+  if (weight_sum == 0) {
+    shares[0] = total;
+    return shares;
+  }
+  // Floor allocation plus largest-remainder distribution (exact in integer
+  // arithmetic: remainder_i = total * w_i mod weight_sum).
+  std::uint64_t allocated = 0;
+  std::vector<std::uint64_t> remainders(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t scaled = total * weights[i];
+    shares[i] = scaled / weight_sum;
+    remainders[i] = scaled % weight_sum;
+    allocated += shares[i];
+  }
+  std::uint64_t leftover = total - allocated;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&remainders](std::size_t a, std::size_t b) {
+                     return remainders[a] > remainders[b];
+                   });
+  for (std::size_t k = 0; leftover > 0 && k < n; ++k, --leftover) {
+    ++shares[order[k]];
+  }
+  // Floor of 1 for every populated share, funded by the largest shares.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] == 0 || shares[i] > 0) continue;
+    const std::size_t donor = static_cast<std::size_t>(
+        std::max_element(shares.begin(), shares.end()) - shares.begin());
+    if (shares[donor] <= 1) {
+      throw std::invalid_argument(
+          "split_budget: total too small to give every weighted share a "
+          "unit — lower the share count or grow the budget");
+    }
+    --shares[donor];
+    shares[i] = 1;
+  }
+  return shares;
+}
+
+}  // namespace hymem::util

@@ -1,0 +1,97 @@
+// Fuzz smoke for the multi-tenant serving layer: seed-derived churn
+// scenarios with the per-operation structural audit plus the double-replay
+// determinism and attribution-conservation oracles (see
+// check/tenant_invariants.hpp). The shrinker contract for failing tenant-op
+// schedules rides here too. The nightly sweep lives in
+// test_tenant_fuzz_long.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "check/fuzzer.hpp"
+#include "check/shrink.hpp"
+#include "check/tenant_invariants.hpp"
+
+namespace hymem::check {
+namespace {
+
+std::uint64_t seed_count(std::uint64_t fallback) {
+  const char* env = std::getenv("HYMEM_FUZZ_SEEDS");
+  if (env == nullptr) return fallback;
+  const long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<std::uint64_t>(parsed) : fallback;
+}
+
+TEST(TenantFuzz, SeedsHoldInvariantsAndReplayDeterministically) {
+  const std::uint64_t seeds = seed_count(8);
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = 0xc3a5c85c97cb3127ull + i;
+    try {
+      const TenantFuzzOutcome out = run_tenant_fuzz_case(seed, 1500);
+      EXPECT_GT(out.accesses, 0u) << out.describe;
+      EXPECT_GT(out.tenants, 0u) << out.describe;
+      EXPECT_EQ(out.totals.accesses, out.accesses) << out.describe;
+    } catch (const std::logic_error& e) {
+      FAIL() << "seed " << seed << ": " << e.what();
+    }
+  }
+}
+
+TEST(TenantFuzz, ScenariosVaryAcrossSeeds) {
+  // The derivation must explore the space (policies, budget modes, shard
+  // counts, schedule shapes) or coverage silently collapses to one shape.
+  const TenantFuzzCase a = make_tenant_fuzz_case(1, 300);
+  const TenantFuzzCase b = make_tenant_fuzz_case(2, 300);
+  const TenantFuzzCase c = make_tenant_fuzz_case(3, 300);
+  EXPECT_FALSE(a.describe() == b.describe() && b.describe() == c.describe());
+}
+
+TEST(TenantFuzz, ShrinkerMinimizesAFailingSchedule) {
+  // A synthetic failure ("any access by tenant 2 after a tenant-1 depart")
+  // embedded in a large generated schedule must shrink to its 2-op core.
+  TenantFuzzCase fuzz = make_tenant_fuzz_case(0x5eed, 800);
+  fuzz.spec.tenants.resize(3);
+  fuzz.spec.initial_active = 3;
+  fuzz.spec.schedule = {{200, 1, false}};
+  const synth::TenantStream stream = synth::generate_tenant_stream(fuzz.spec);
+
+  const auto still_fails = [](const std::vector<synth::TenantOp>& ops) {
+    bool departed = false;
+    for (const synth::TenantOp& op : ops) {
+      if (op.kind == synth::TenantOp::Kind::kDepart && op.tenant == 1) {
+        departed = true;
+      }
+      if (departed && op.kind == synth::TenantOp::Kind::kAccess &&
+          op.tenant == 2) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(still_fails(stream.ops));
+
+  const std::vector<synth::TenantOp> minimal =
+      shrink_tenant_ops(stream.ops, still_fails);
+  ASSERT_EQ(minimal.size(), 2u)
+      << format_tenant_ops(minimal, stream.page_size);
+  EXPECT_EQ(minimal[0].kind, synth::TenantOp::Kind::kDepart);
+  EXPECT_EQ(minimal[0].tenant, 1u);
+  EXPECT_EQ(minimal[1].kind, synth::TenantOp::Kind::kAccess);
+  EXPECT_EQ(minimal[1].tenant, 2u);
+  EXPECT_TRUE(still_fails(minimal));
+}
+
+TEST(TenantFuzz, FormatRendersEveryOpKind) {
+  std::vector<synth::TenantOp> ops;
+  ops.push_back({synth::TenantOp::Kind::kArrive, 2, {}});
+  ops.push_back(
+      {synth::TenantOp::Kind::kAccess, 2, {7 * 4096, AccessType::kWrite}});
+  ops.push_back(
+      {synth::TenantOp::Kind::kAccess, 0, {3 * 4096, AccessType::kRead}});
+  ops.push_back({synth::TenantOp::Kind::kDepart, 2, {}});
+  EXPECT_EQ(format_tenant_ops(ops, 4096), "+2 2W7 0R3 -2");
+}
+
+}  // namespace
+}  // namespace hymem::check

@@ -1,0 +1,37 @@
+// Long multi-tenant fuzz sweep (nightly CI; ctest -L fuzz). Same oracles as
+// test_tenant_fuzz.cpp — per-operation structural audit, double-replay
+// determinism, attribution conservation — over a wider seed range and
+// longer churn schedules.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "check/tenant_invariants.hpp"
+
+namespace hymem::check {
+namespace {
+
+std::uint64_t seed_count(std::uint64_t fallback) {
+  const char* env = std::getenv("HYMEM_FUZZ_SEEDS");
+  if (env == nullptr) return fallback;
+  const long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<std::uint64_t>(parsed) : fallback;
+}
+
+TEST(TenantFuzzLong, SweepRunsClean) {
+  const std::uint64_t seeds = seed_count(32);
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = 0x7e4a4d5600000000ull + i;
+    try {
+      const TenantFuzzOutcome out = run_tenant_fuzz_case(seed, 6000);
+      EXPECT_GT(out.accesses, 0u) << out.describe;
+    } catch (const std::logic_error& e) {
+      FAIL() << "seed " << seed << ": " << e.what();
+      break;  // one full report is enough to act on
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hymem::check

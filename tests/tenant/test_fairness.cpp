@@ -1,0 +1,59 @@
+#include "tenant/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hymem::tenant {
+namespace {
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_EQ(jain_fairness({}), 0.0);
+  const std::vector<double> equal = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(equal), 1.0);
+  const std::vector<double> single = {3.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(single), 1.0);
+  // One tenant dominating n drives the index toward 1/n.
+  const std::vector<double> skewed = {100.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(skewed), 0.25);
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+  const std::vector<double> mixed = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(mixed), 36.0 / 42.0);
+}
+
+TEST(JainFairness, AllZeroSampleIsPerfectlyFair) {
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
+TEST(SummarizeFairness, EmptyReturnsZeroSummary) {
+  const FairnessSummary s = summarize_fairness({});
+  EXPECT_EQ(s.tenants, 0u);
+  EXPECT_EQ(s.amat_p50_ns, 0.0);
+  EXPECT_EQ(s.amat_p99_ns, 0.0);
+  EXPECT_EQ(s.jain_index, 0.0);
+}
+
+TEST(SummarizeFairness, PercentilesAreOrderedAndWithinRange) {
+  const std::vector<double> amats = {10.0, 20.0, 30.0, 40.0, 1000.0};
+  const FairnessSummary s = summarize_fairness(amats);
+  EXPECT_EQ(s.tenants, 5u);
+  EXPECT_LE(s.amat_p50_ns, s.amat_p95_ns);
+  EXPECT_LE(s.amat_p95_ns, s.amat_p99_ns);
+  EXPECT_GE(s.amat_p50_ns, 10.0);
+  EXPECT_LE(s.amat_p99_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(s.amat_p50_ns, 30.0);
+  EXPECT_GT(s.jain_index, 0.0);
+  EXPECT_LT(s.jain_index, 1.0);
+}
+
+TEST(SummarizeFairness, ConstantSampleIsFair) {
+  const std::vector<double> amats = {7.0, 7.0, 7.0, 7.0};
+  const FairnessSummary s = summarize_fairness(amats);
+  EXPECT_DOUBLE_EQ(s.amat_p50_ns, 7.0);
+  EXPECT_DOUBLE_EQ(s.amat_p99_ns, 7.0);
+  EXPECT_DOUBLE_EQ(s.jain_index, 1.0);
+}
+
+}  // namespace
+}  // namespace hymem::tenant

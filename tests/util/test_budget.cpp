@@ -1,0 +1,70 @@
+#include "util/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace hymem::util {
+namespace {
+
+using U64s = std::vector<std::uint64_t>;
+
+TEST(SplitBudget, ProportionalAndExact) {
+  EXPECT_EQ(split_budget(12, {1, 1, 1}), (U64s{4, 4, 4}));
+  EXPECT_EQ(split_budget(10, {3, 1}), (U64s{8, 2}));  // 7.5 -> largest rem.
+  EXPECT_EQ(split_budget(7, {1}), (U64s{7}));
+}
+
+TEST(SplitBudget, SharesAlwaysSumToTotal) {
+  for (std::uint64_t total = 3; total < 40; ++total) {
+    const U64s shares = split_budget(total, {5, 3, 1});
+    EXPECT_EQ(std::accumulate(shares.begin(), shares.end(),
+                              std::uint64_t{0}),
+              total)
+        << "total " << total;
+  }
+}
+
+TEST(SplitBudget, RemainderTiesBreakToLowestIndex) {
+  // 5 into three equal weights: 1 each plus 2 remainder units, which must
+  // land on indices 0 and 1 — never on a higher index first.
+  EXPECT_EQ(split_budget(5, {1, 1, 1}), (U64s{2, 2, 1}));
+  EXPECT_EQ(split_budget(7, {1, 1, 1}), (U64s{3, 2, 2}));
+}
+
+TEST(SplitBudget, ZeroWeightsGetNothing) {
+  EXPECT_EQ(split_budget(8, {1, 0, 1}), (U64s{4, 0, 4}));
+  EXPECT_EQ(split_budget(8, {0, 0, 2}), (U64s{0, 0, 8}));
+}
+
+TEST(SplitBudget, AllZeroWeightsPutTotalOnIndexZero) {
+  EXPECT_EQ(split_budget(8, {0, 0, 0}), (U64s{8, 0, 0}));
+  EXPECT_EQ(split_budget(0, {0, 0}), (U64s{0, 0}));
+}
+
+TEST(SplitBudget, FloorOfOneForPositiveWeights) {
+  // Weight 1 against weight 1000 would round to zero; the floor takes a
+  // unit from the largest share instead.
+  const U64s shares = split_budget(10, {1000, 1, 1});
+  EXPECT_EQ(shares[1], 1u);
+  EXPECT_EQ(shares[2], 1u);
+  EXPECT_EQ(shares[0], 8u);
+}
+
+TEST(SplitBudget, ThrowsWhenTotalCannotCoverTheFloors) {
+  EXPECT_THROW(split_budget(2, {1, 1, 1}), std::invalid_argument);
+  try {
+    split_budget(1, {1, 1});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("split_budget"), std::string::npos);
+  }
+}
+
+TEST(SplitBudget, EmptyWeights) {
+  EXPECT_EQ(split_budget(0, {}), (U64s{}));
+}
+
+}  // namespace
+}  // namespace hymem::util
